@@ -1,0 +1,60 @@
+"""C-1 — crypto-kernel throughput: the lightweight-node argument.
+
+DAP's pitch is symmetric crypto cheap enough for MCN nodes. These
+benches measure the per-packet receiver work (μMAC re-hash, MAC verify,
+chain-gap verification) and the sender-side chain generation, so the
+"lightweight" claim is a number rather than an adjective.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keychain import KeyChain, KeyChainAuthenticator
+from repro.crypto.mac import MacScheme, MicroMacScheme
+from repro.crypto.onewayfn import OneWayFunction
+
+
+def test_chain_generation_1000_keys(benchmark):
+    """Sender setup: derive a 1000-interval key chain."""
+    result = benchmark(KeyChain, b"bench-seed", 1000)
+    assert result.length == 1000
+
+
+def test_receiver_packet_kernel(benchmark):
+    """The per-announce receiver work: one μMAC re-hash."""
+    micro = MicroMacScheme()
+    mac = MacScheme().compute(b"k" * 10, b"m" * 25)
+
+    result = benchmark(micro.compute, b"local-key", mac)
+    assert len(result) == 3
+
+
+def test_reveal_verification_kernel(benchmark):
+    """The per-reveal work: MAC recompute + μMAC re-hash."""
+    scheme = MacScheme()
+    micro = MicroMacScheme()
+    key = b"k" * 10
+    message = b"m" * 25
+
+    def verify():
+        return micro.compute(b"local-key", scheme.compute(key, message))
+
+    result = benchmark(verify)
+    assert len(result) == 3
+
+
+def test_gap_recovery_ten_intervals(benchmark):
+    """Loss tolerance: authenticate a key across a 10-interval gap."""
+    chain = KeyChain(b"bench-seed", 200)
+    key = chain.key(10)
+
+    def authenticate():
+        auth = KeyChainAuthenticator(chain.commitment, chain.function)
+        return auth.authenticate(key, 10)
+
+    assert benchmark(authenticate)
+
+
+def test_one_way_function_single(benchmark):
+    f = OneWayFunction("F")
+    out = benchmark(f, b"\xaa" * 10)
+    assert len(out) == 10

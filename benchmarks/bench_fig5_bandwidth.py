@@ -1,0 +1,73 @@
+"""F-5 — regenerate Fig. 5: required bandwidth fraction vs DoS level.
+
+Settings from §VI-A: xd = 0.2, Mem ∈ {1024kb, 512kb}, s1 = 280 bits
+(TESLA++ as the paper accounts it), s2 = 56 bits (DAP). Both readings
+of the ambiguous ``xm`` formula are printed (see DESIGN.md); the
+paper's shape claim — DAP strictly dominates TESLA++ at equal memory,
+and more memory dominates less — is asserted on both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bandwidth import (
+    PAPER_MEMORY_LARGE_BITS,
+    PAPER_MEMORY_SMALL_BITS,
+    fig5_series,
+)
+
+from benchmarks.conftest import print_table
+
+ATTACK_LEVELS = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+
+
+def test_fig5_required_bandwidth(benchmark):
+    series = benchmark(fig5_series, ATTACK_LEVELS)
+
+    def label(memory: int) -> str:
+        return f"{memory // 1000}kb"
+
+    rows = []
+    for level in ATTACK_LEVELS:
+        row = [f"{level:.2f}"]
+        for protocol in ("TESLA++", "DAP"):
+            for memory in (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS):
+                point = next(
+                    p for p in series[(protocol, memory)] if p.attack_level == level
+                )
+                row.append(f"{point.attacker_bandwidth:.4f}")
+        rows.append(row)
+    print_table(
+        "Fig. 5 (literal reading): attacker bandwidth xm = P^(1/m)(1-xd)",
+        ["P", "TESLA++ 1024kb", "TESLA++ 512kb", "DAP 1024kb", "DAP 512kb"],
+        rows,
+    )
+
+    rows = []
+    for level in ATTACK_LEVELS:
+        row = [f"{level:.2f}"]
+        for protocol in ("TESLA++", "DAP"):
+            for memory in (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS):
+                point = next(
+                    p for p in series[(protocol, memory)] if p.attack_level == level
+                )
+                row.append(f"{point.mac_bandwidth:.6f}")
+        rows.append(row)
+    print_table(
+        "Fig. 5 (defender dual): MAC bandwidth to cap attack success at P",
+        ["P", "TESLA++ 1024kb", "TESLA++ 512kb", "DAP 1024kb", "DAP 512kb"],
+        rows,
+    )
+
+    # Shape assertions (EXPERIMENTS.md F-5).
+    for memory in (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS):
+        for dap, tpp in zip(series[("DAP", memory)], series[("TESLA++", memory)]):
+            assert dap.attacker_bandwidth > tpp.attacker_bandwidth
+            assert dap.mac_bandwidth < tpp.mac_bandwidth
+    for protocol in ("DAP", "TESLA++"):
+        large = series[(protocol, PAPER_MEMORY_LARGE_BITS)]
+        small = series[(protocol, PAPER_MEMORY_SMALL_BITS)]
+        for lg, sm in zip(large, small):
+            assert lg.attacker_bandwidth >= sm.attacker_bandwidth
+    benchmark.extra_info["buffers"] = {
+        f"{proto}@{mem}": pts[0].buffers for (proto, mem), pts in series.items()
+    }

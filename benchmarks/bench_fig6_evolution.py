@@ -1,0 +1,105 @@
+"""F-6 — regenerate Fig. 6: the evolution process of the game.
+
+Settings from §VI-B: Ra=200, k1=20, k2=4, p=0.8, (X0,Y0)=(0.5,0.5),
+Euler update with t=0.01. One representative ``m`` per regime
+reproduces the four subfigures (a)-(d); the full regime table over
+m = 1..100 reproduces the paper's band boundaries. The integrator
+ablation (DESIGN.md §5) checks Euler vs RK4 reach the same ESS.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.trajectories import is_spiral, regime_bands, settling_steps
+from repro.game.ess import EssType, realized_ess
+from repro.game.parameters import paper_parameters
+
+from benchmarks.conftest import print_table
+
+#: One m per Fig. 6 subfigure: (a) (1,1), (b) (1,Y'), (c) (X,Y), (d) (X',1).
+SUBFIGURE_MS = (5, 14, 30, 70)
+
+
+def test_fig6_subfigure_trajectories(benchmark):
+    def run():
+        results = {}
+        for m in SUBFIGURE_MS:
+            params = paper_parameters(p=0.8, m=m, max_buffers=100)
+            point, trajectory = realized_ess(params)
+            results[m] = (point, trajectory)
+        return results
+
+    results = benchmark(run)
+
+    rows = []
+    for m, (point, trajectory) in results.items():
+        rows.append(
+            (
+                m,
+                point.ess_type.value,
+                f"({point.x:.4f}, {point.y:.4f})",
+                trajectory.steps,
+                "yes" if is_spiral(trajectory) else "no",
+            )
+        )
+    print_table(
+        "Fig. 6: evolution from (0.5, 0.5), p=0.8 (one m per subfigure)",
+        ["m", "ESS", "(X, Y)", "steps", "spiral"],
+        rows,
+    )
+
+    assert results[5][0].ess_type is EssType.CORNER_11
+    assert results[14][0].ess_type is EssType.EDGE_1Y
+    assert results[30][0].ess_type is EssType.INTERIOR
+    assert is_spiral(results[30][1])  # "converges spirally"
+    assert results[70][0].ess_type is EssType.EDGE_X1
+    # (1,1) and (X',1) converge fast; the others take visibly longer.
+    assert results[70][1].steps < results[30][1].steps
+
+
+def test_fig6_regime_bands_m_1_to_100(benchmark):
+    base = paper_parameters(p=0.8, m=1, max_buffers=100)
+    m_values = list(range(1, 101))
+
+    bands, labels = benchmark(regime_bands, base, m_values)
+
+    print_table(
+        "Fig. 6 regimes over m = 1..100 (paper: 1-11 / 12-17 / 18-54 / 55-100)",
+        ["ESS", "m range"],
+        [(band.ess_type.value, f"{band.m_min}..{band.m_max}") for band in bands],
+    )
+    order = [band.ess_type for band in bands]
+    assert order == [
+        EssType.CORNER_11,
+        EssType.EDGE_1Y,
+        EssType.INTERIOR,
+        EssType.EDGE_X1,
+    ]
+    assert bands[0].m_max == 11  # paper: exactly 11
+    assert abs(bands[1].m_max - 17) <= 1  # paper: 17; Euler artifact ±1
+    assert bands[2].m_max == 54  # paper: exactly 54
+    benchmark.extra_info["bands"] = [
+        (band.ess_type.value, band.m_min, band.m_max) for band in bands
+    ]
+
+
+def test_fig6_integrator_ablation(benchmark):
+    """DESIGN.md §5: the realized ESS is not an Euler artifact (except at
+    the documented band edge) — RK4 agrees on each subfigure's label."""
+
+    def run():
+        agreement = {}
+        for m in SUBFIGURE_MS:
+            params = paper_parameters(p=0.8, m=m, max_buffers=100)
+            euler, _ = realized_ess(params, method="euler")
+            rk4, _ = realized_ess(params, method="rk4")
+            agreement[m] = (euler.ess_type, rk4.ess_type)
+        return agreement
+
+    agreement = benchmark(run)
+    print_table(
+        "Fig. 6 ablation: Euler (paper) vs RK4 destination",
+        ["m", "Euler", "RK4"],
+        [(m, e.value, r.value) for m, (e, r) in agreement.items()],
+    )
+    for m, (euler_label, rk4_label) in agreement.items():
+        assert euler_label == rk4_label, f"integrator disagreement at m={m}"

@@ -1,0 +1,81 @@
+"""F-7 — regenerate Fig. 7: optimised number of buffers m vs attack level p.
+
+Settings from §VI-B: Ra=200, k1=20, k2=4, M=50. Two series are
+printed: the published Algorithm 3 (running-min loop, whose collision
+with the (X',1) cost plateau produces the paper's jump to m ≈ 50 for
+p > 0.94) and the corrected argmin (DESIGN.md §5 ablation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costs import cost_curves, crossover_p
+from repro.analysis.sweep import open_interval_grid
+from repro.game.parameters import paper_parameters
+
+from benchmarks.conftest import print_table
+
+GRID = open_interval_grid(0.0, 1.0, 25, margin=0.02)
+
+
+def test_fig7_optimal_buffers(benchmark):
+    base = paper_parameters(p=0.5, m=1)
+
+    def run():
+        return (
+            cost_curves(base, GRID, selection="paper"),
+            cost_curves(base, GRID, selection="argmin"),
+        )
+
+    paper_mode, argmin_mode = benchmark(run)
+
+    rows = [
+        (
+            f"{p:.3f}",
+            paper_point.optimal_m,
+            argmin_point.optimal_m,
+            paper_point.ess_type.value if paper_point.ess_type else "?",
+        )
+        for p, paper_point, argmin_point in zip(
+            GRID, paper_mode.points, argmin_mode.points
+        )
+    ]
+    print_table(
+        "Fig. 7: optimal m vs p (paper's Algorithm 3 vs corrected argmin)",
+        ["p", "m* (paper Alg.3)", "m* (argmin)", "ESS @ paper m*"],
+        rows,
+    )
+
+    # Shape assertions (EXPERIMENTS.md F-7).
+    argmin_ms = argmin_mode.optimal_ms
+    low_band = [m for p, m in zip(GRID, argmin_ms) if p < 0.5]
+    mid_band = [m for p, m in zip(GRID, argmin_ms) if 0.7 < p < 0.92]
+    assert max(low_band) < min(mid_band)  # m grows with p
+    assert argmin_ms == sorted(argmin_ms) or sum(
+        a > b for a, b in zip(argmin_ms, argmin_ms[1:])
+    ) <= 2  # near-monotone (small regime-switch dips allowed)
+
+    # The p > 0.94 "give up and max out" regime: with m = M = 50 the
+    # equilibrium is (X', 1) and the defender cost plateaus at Ra. The
+    # published running-min loop lands somewhere on that plateau (its
+    # `Em < Em-1` test is float-noise-driven there), always at or above
+    # the argmin; the described behaviour "m is set to 50" corresponds
+    # to any plateau point — we assert the plateau itself.
+    from repro.game.ess import EssType
+    from repro.game.optimizer import BufferOptimizer
+
+    for p_extreme in (0.95, 0.97):
+        row_at_cap = BufferOptimizer(base.with_p(p_extreme)).evaluate(50)
+        assert row_at_cap.ess_type is EssType.EDGE_X1
+        assert row_at_cap.cost == pytest.approx(base.ra, abs=1e-6)
+    last = len(GRID) - 1
+    assert paper_mode.points[last].optimal_m >= argmin_mode.points[last].optimal_m
+    crossover = crossover_p(paper_mode, m_cap_fraction=0.5)
+    print(
+        f"argmin m* grows {argmin_ms[0]} -> {max(argmin_ms)};"
+        f" give-up plateau (ESS (X',1) at m=50) active for p > ~0.94;"
+        f" paper-loop saturation crossover at p = {crossover}"
+    )
+    benchmark.extra_info["paper_ms"] = list(zip(GRID, paper_mode.optimal_ms))
+    benchmark.extra_info["argmin_ms"] = list(zip(GRID, argmin_ms))

@@ -1,0 +1,54 @@
+"""F-8 — regenerate Fig. 8: average defense cost vs attack level.
+
+E = k2 m X² + [1-(1-p^m)X] Ra Y at the equilibrium of the optimised
+game; N = k2 M + p^M Ra Y' for the naive always-max defense. The
+paper's claims: E <= N everywhere, and the gap re-opens sharply for
+p > 0.94 where the game-guided fleet moves to the (X',1) equilibrium
+instead of paying the naive premium.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costs import cost_curves
+from repro.analysis.sweep import open_interval_grid
+from repro.game.parameters import paper_parameters
+
+from benchmarks.conftest import print_table
+
+GRID = open_interval_grid(0.0, 1.0, 25, margin=0.02)
+
+
+def test_fig8_defense_cost(benchmark):
+    base = paper_parameters(p=0.5, m=1)
+
+    curves = benchmark(cost_curves, base, GRID, "paper")
+
+    rows = [
+        (
+            f"{point.p:.3f}",
+            point.optimal_m,
+            f"{point.game_cost:.2f}",
+            f"{point.naive_cost:.2f}",
+            f"{point.saving:.2f}",
+            f"{point.saving_ratio:.1%}",
+        )
+        for point in curves.points
+    ]
+    print_table(
+        "Fig. 8: game-guided cost E vs naive cost N (Ra=200, k1=20, k2=4, M=50)",
+        ["p", "m*", "E (game)", "N (naive)", "N - E", "saved"],
+        rows,
+    )
+
+    # Shape assertions (EXPERIMENTS.md F-8).
+    assert curves.always_cheaper()
+    by_p = {round(point.p, 3): point for point in curves.points}
+    extreme = max(curves.attack_levels)
+    mid = min(curves.attack_levels, key=lambda p: abs(p - 0.94))
+    assert by_p[round(extreme, 3)].saving > by_p[round(mid, 3)].saving
+    # naive cost is at least the k2*M floor and explodes at extreme p
+    assert min(curves.naive_costs) >= 200.0 - 1e-9
+    assert curves.naive_costs[-1] > 250.0
+    benchmark.extra_info["series"] = [
+        (point.p, point.game_cost, point.naive_cost) for point in curves.points
+    ]

@@ -1,0 +1,58 @@
+"""A-2 — mean-field validation: agent-based imitation vs the replicator ODE.
+
+The paper models bounded-rational node behaviour with the replicator
+ODE (§V-A/§V-D). This bench runs the *actual* finite-population
+imitation process and compares where it settles against the ODE for
+one representative ``m`` per Fig. 6 regime — quantifying the modelling
+step the paper takes implicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.game.ess import realized_ess
+from repro.game.parameters import paper_parameters
+from repro.game.population import PopulationGame
+
+from benchmarks.conftest import print_table
+
+REGIME_MS = (5, 14, 30, 70)
+
+
+def test_population_vs_ode(benchmark):
+    def run():
+        rows = []
+        for m in REGIME_MS:
+            params = paper_parameters(p=0.8, m=m, max_buffers=100)
+            ode_point, _ = realized_ess(params)
+            game = PopulationGame(
+                params,
+                defenders=500,
+                attackers=500,
+                imitation_rate=0.3,
+                mutation_rate=0.001,
+                rng=random.Random(11),
+            )
+            tail = game.run(3000, record_every=10).tail_mean()
+            rows.append((m, ode_point, tail))
+        return rows
+
+    rows = benchmark(run)
+
+    print_table(
+        "A-2: agent-based tail mean vs replicator ODE (500+500 agents)",
+        ["m", "ODE ESS", "ODE (X, Y)", "agents (X, Y)", "|error|"],
+        [
+            (
+                m,
+                point.ess_type.value,
+                f"({point.x:.3f}, {point.y:.3f})",
+                f"({tail[0]:.3f}, {tail[1]:.3f})",
+                f"{abs(tail[0] - point.x) + abs(tail[1] - point.y):.3f}",
+            )
+            for m, point, tail in rows
+        ],
+    )
+    for m, point, tail in rows:
+        assert abs(tail[0] - point.x) + abs(tail[1] - point.y) < 0.4

@@ -1,0 +1,66 @@
+"""SC-1 — simulator scalability and fleet-size behaviour.
+
+MCNs "consist of thousands of sensor nodes" (§V-A); the evaluation
+substrate must scale with fleet size and the DoS-resistance result must
+be fleet-size independent (every node runs its own reservoir). This
+bench measures simulator throughput as the fleet grows and checks the
+invariance.
+"""
+
+from __future__ import annotations
+
+from repro.sim.experiments import run_config_sweep
+from repro.sim.scenario import ScenarioConfig
+
+from benchmarks.conftest import print_table
+
+BASE = ScenarioConfig(
+    protocol="dap",
+    intervals=40,
+    buffers=4,
+    attack_fraction=0.8,
+    announce_copies=5,
+)
+
+
+def test_fleet_size_scaling(benchmark):
+    def run():
+        return run_config_sweep(BASE, "receivers", [1, 4, 16], seeds=[1, 2, 3])
+
+    cells = benchmark(run)
+
+    rows = [
+        (
+            cell.config.receivers,
+            f"{cell.result.authentication_rate.mean:.3f}",
+            f"{cell.result.authentication_rate.std:.3f}",
+            cell.result.total_forged_accepted,
+        )
+        for cell in cells
+    ]
+    print_table(
+        "SC-1: authentication rate vs fleet size (p=0.8, m=4)",
+        ["receivers", "auth rate", "std", "forged accepted"],
+        rows,
+    )
+
+    # Per-node resistance is fleet-size independent (each node samples
+    # its own reservoir): means agree within noise across fleet sizes.
+    means = [cell.result.authentication_rate.mean for cell in cells]
+    assert max(means) - min(means) < 0.15
+    assert all(cell.result.total_forged_accepted == 0 for cell in cells)
+
+
+def test_event_throughput_large_fleet(benchmark):
+    """Raw simulator throughput: 64 receivers, flood, ~70k deliveries."""
+    import dataclasses
+
+    from repro.sim.scenario import run_scenario
+
+    config = dataclasses.replace(BASE, receivers=64, intervals=20)
+
+    result = benchmark.pedantic(
+        run_scenario, args=(config,), rounds=3, iterations=1
+    )
+    assert result.fleet.node_count == 64
+    assert result.fleet.total_forged_accepted == 0

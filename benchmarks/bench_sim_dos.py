@@ -1,0 +1,85 @@
+"""S-1 — empirical DoS resistance: measured attack success vs p^m.
+
+Sweeps attack level and buffer count through the full packet-level
+simulator and compares the measured attack success rate against the
+paper's analytic ``P = p^m`` (exactly: the finite-pool hypergeometric
+it approximates — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+from benchmarks.conftest import print_table
+
+COPIES = 5
+SWEEP = [
+    (0.5, 2),
+    (0.5, 4),
+    (0.8, 2),
+    (0.8, 4),
+    (0.8, 8),
+    (0.9, 4),
+    (0.9, 8),
+]
+
+
+def hypergeometric(authentic: int, forged: int, m: int) -> float:
+    total = authentic + forged
+    if forged < m:
+        return 0.0
+    if m >= total:
+        return 0.0 if authentic else 1.0
+    return comb(forged, m) / comb(total, m)
+
+
+def test_sim_dos_resistance_sweep(benchmark):
+    def run():
+        results = []
+        for p, m in SWEEP:
+            scenario = run_scenario(
+                ScenarioConfig(
+                    protocol="dap",
+                    intervals=120,
+                    receivers=2,
+                    buffers=m,
+                    attack_fraction=p,
+                    announce_copies=COPIES,
+                    seed=21,
+                )
+            )
+            results.append((p, m, scenario))
+        return results
+
+    results = benchmark(run)
+
+    rows = []
+    for p, m, scenario in results:
+        forged = round(COPIES * p / (1 - p))
+        exact = hypergeometric(COPIES, forged, m)
+        rows.append(
+            (
+                f"{p:.2f}",
+                m,
+                f"{scenario.attack_success_rate:.3f}",
+                f"{exact:.3f}",
+                f"{p ** m:.3f}",
+                scenario.fleet.total_forged_accepted,
+            )
+        )
+    print_table(
+        "S-1: measured attack success vs model (DAP, 5 authentic copies)",
+        ["p", "m", "measured", "hypergeometric", "p^m", "forged accepted"],
+        rows,
+    )
+
+    for p, m, scenario in results:
+        forged = round(COPIES * p / (1 - p))
+        exact = hypergeometric(COPIES, forged, m)
+        assert abs(scenario.attack_success_rate - exact) < 0.1
+        assert scenario.fleet.total_forged_accepted == 0
+    # monotonicity: more buffers, less success (at p = 0.8)
+    p08 = {m: s.attack_success_rate for p, m, s in results if p == 0.8}
+    assert p08[2] > p08[4] > p08[8]

@@ -1,0 +1,55 @@
+"""T-II — regenerate Table II (the payoff matrix) at the §VI constants.
+
+The paper's Table II is symbolic; this bench evaluates it numerically
+at the evaluation setting (Ra=200, k1=20, k2=4, p=0.8) for a
+representative buffer count and population state, and benchmarks the
+payoff/expected-utility kernel that every replicator step calls.
+"""
+
+from __future__ import annotations
+
+from repro.game.parameters import paper_parameters
+from repro.game.payoff import PayoffMatrix, expected_utilities
+
+from benchmarks.conftest import print_table
+
+
+def test_table2_payoff_matrix(benchmark):
+    params = paper_parameters(p=0.8, m=20)
+    x, y = 0.5, 0.5
+
+    def evaluate():
+        return PayoffMatrix.at(params, x, y), expected_utilities(params, x, y)
+
+    matrix, utilities = benchmark(evaluate)
+
+    rows = [
+        (
+            "Buffer selection",
+            f"({matrix.buffer_dos.defender:.2f}, {matrix.buffer_dos.attacker:.2f})",
+            f"({matrix.buffer_quiet.defender:.2f}, {matrix.buffer_quiet.attacker:.2f})",
+        ),
+        (
+            "No buffers",
+            f"({matrix.plain_dos.defender:.2f}, {matrix.plain_dos.attacker:.2f})",
+            f"({matrix.plain_quiet.defender:.2f}, {matrix.plain_quiet.attacker:.2f})",
+        ),
+    ]
+    print_table(
+        "Table II @ Ra=200, k1=20, k2=4, p=0.8, m=20, (X,Y)=(0.5,0.5)",
+        ["Defender \\ Attacker", "DoS attacks", "No DoS attacks"],
+        rows,
+    )
+    print(
+        f"E(Ud)={utilities.defend:.2f}  E(Und)={utilities.no_defend:.2f}  "
+        f"E(Ua)={utilities.attack:.2f}  E(Una)={utilities.no_attack:.2f}"
+    )
+
+    # Structural checks (Table II semantics).
+    assert matrix.plain_quiet.defender == 0.0
+    assert matrix.plain_dos.defender < matrix.buffer_dos.defender
+    assert matrix.plain_dos.attacker > matrix.buffer_dos.attacker
+    benchmark.extra_info["buffer_dos"] = (
+        matrix.buffer_dos.defender,
+        matrix.buffer_dos.attacker,
+    )

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark/figure-regeneration harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md §4). Benches print the regenerated rows — run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them — and stash
+the same data in ``benchmark.extra_info`` so JSON output carries it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["print_table"]
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Render one regenerated paper artifact as an aligned text table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Game-guided adaptive defense against a shifting attacker.
+
+The paper's §V-F mechanism in closed loop: a fleet of DAP nodes
+estimates the attack level from what their reservoirs actually caught,
+re-runs Algorithm 3 on the estimate, and resizes their buffers —
+while the attacker's intensity changes phase by phase. Compare the
+cost of this adaptive policy against the naive always-max defense
+(Fig. 8's comparison, played out over time).
+
+Run:  python examples/adaptive_defense.py
+"""
+
+from __future__ import annotations
+
+from repro.game import (
+    AdaptiveDefense,
+    AttackEstimator,
+    defense_cost,
+    naive_defense_cost,
+    paper_parameters,
+)
+from repro.sim import ScenarioConfig, run_scenario
+
+#: (phase name, true attack level, epochs)
+PHASES = (
+    ("calm", 0.20, 40),
+    ("probing", 0.60, 40),
+    ("assault", 0.90, 40),
+    ("retreat", 0.40, 40),
+)
+
+
+def run_phase(true_p: float, m: int, epochs: int, seed: int):
+    """One phase of the campaign at the policy's current buffer size."""
+    return run_scenario(
+        ScenarioConfig(
+            protocol="dap",
+            intervals=epochs,
+            receivers=4,
+            buffers=m,
+            attack_fraction=true_p,
+            announce_copies=5,
+            seed=seed,
+        )
+    )
+
+
+def main() -> None:
+    base = paper_parameters(p=0.5, m=1)
+    estimator = AttackEstimator(alpha=0.35, initial=0.5)
+    policy = AdaptiveDefense(base, estimator)
+
+    print("phase      true p   est. p   m*   ESS        auth rate   E(adaptive)   N(naive)")
+    print("-" * 86)
+    total_adaptive = total_naive = 0.0
+    for seed, (name, true_p, epochs) in enumerate(PHASES, start=1):
+        m_star = policy.recommended_buffers()
+        outcome = run_phase(true_p, m_star, epochs, seed)
+
+        # Nodes feed the estimator what they actually observed at reveal
+        # time: how many of their buffered records matched the authentic
+        # message. The reservoir keeps a uniform sample of all copies,
+        # so 1 - matched/stored is an unbiased sample of the forged
+        # fraction.
+        for node in outcome.nodes:
+            for _interval, stored, matched in node.receiver.observations:
+                estimator.observe_interval(stored, matched)
+
+        truth = base.with_p(true_p)
+        row = policy.equilibrium()
+        adaptive_cost = defense_cost(truth.with_m(m_star), row.x, row.y)
+        naive_cost = naive_defense_cost(truth)
+        total_adaptive += adaptive_cost * epochs
+        total_naive += naive_cost * epochs
+        print(
+            f"{name:<9s} {true_p:>7.2f} {policy.current_p:>8.2f} {m_star:>4d}"
+            f"   {row.ess_type.value if row.ess_type else '?':<9s}"
+            f" {outcome.authentication_rate:>9.3f}"
+            f" {adaptive_cost:>12.2f} {naive_cost:>10.2f}"
+        )
+        assert outcome.fleet.total_forged_accepted == 0
+
+    print("-" * 86)
+    saved = 1.0 - total_adaptive / total_naive
+    print(
+        f"campaign cost: adaptive {total_adaptive:,.0f} vs naive"
+        f" {total_naive:,.0f}  ({saved:.0%} saved by playing the game)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bounded rationality in action: imitating agents vs the replicator ODE.
+
+The paper's core modelling assumption (§V-A) is that sensor nodes and
+attackers are *not* rational optimisers — they imitate whoever around
+them is doing better. This script runs that exact process with finite
+agent populations alongside the paper's mean-field ODE, for one buffer
+count per Fig. 6 regime, and prints both trajectories side by side.
+
+Run:  python examples/bounded_rationality.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.game import (
+    PopulationGame,
+    ReplicatorDynamics,
+    paper_parameters,
+    realized_ess,
+)
+
+REGIMES = (
+    (5, "every node arms, every attacker floods"),
+    (14, "full defense, attackers mix"),
+    (30, "both sides mix (spiral)"),
+    (70, "defense too dear, attackers flood"),
+)
+
+CHECKPOINTS = (0, 50, 200, 800, 3000)
+
+
+def run_regime(m: int, story: str) -> None:
+    params = paper_parameters(p=0.8, m=m, max_buffers=100)
+    ode_point, ode_traj = realized_ess(params)
+    agents = PopulationGame(
+        params,
+        defenders=500,
+        attackers=500,
+        imitation_rate=0.3,
+        mutation_rate=0.001,
+        rng=random.Random(42),
+    )
+    agent_traj = agents.run(max(CHECKPOINTS), record_every=1)
+
+    # Sample the ODE on a comparable clock: one imitation sweep per node
+    # population corresponds to one unit of replicator time at
+    # imitation_rate scaling; use the recorded Euler trajectory directly.
+    dynamics = ReplicatorDynamics(params)
+    print(f"\nm = {m}: {story}")
+    print(f"  ODE equilibrium: {ode_point.ess_type.value}"
+          f" at ({ode_point.x:.3f}, {ode_point.y:.3f})")
+    print(f"  {'round':>6s}  {'agents (X, Y)':>18s}")
+    for checkpoint in CHECKPOINTS:
+        idx = min(checkpoint, len(agent_traj.xs) - 1)
+        print(
+            f"  {checkpoint:>6d}  "
+            f"({agent_traj.xs[idx]:.3f}, {agent_traj.ys[idx]:.3f})"
+        )
+    tail = agent_traj.tail_mean()
+    err = abs(tail[0] - ode_point.x) + abs(tail[1] - ode_point.y)
+    print(f"  agents settle at ({tail[0]:.3f}, {tail[1]:.3f});"
+          f" L1 distance to the ODE equilibrium: {err:.3f}")
+
+
+def main() -> None:
+    print(
+        "500 defenders and 500 attackers, each round imitating a random\n"
+        "peer proportionally to the payoff gap (Ra=200, k1=20, k2=4, p=0.8).\n"
+        "No agent knows the game — the population still finds the ESS."
+    )
+    for m, story in REGIMES:
+        run_regime(m, story)
+
+
+if __name__ == "__main__":
+    main()

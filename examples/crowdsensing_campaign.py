@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""A city-scale crowdsensing campaign under DoS attack.
+
+The scenario the paper's introduction motivates: a service provider
+broadcasts task messages to a fleet of mobile nodes over a lossy
+channel while an attacker floods forged packets to exhaust node
+memory. We run the same campaign under every protocol in the family
+and report who actually delivers authenticated sensing data.
+
+Run:  python examples/crowdsensing_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.sim import CrowdsensingWorkload, ScenarioConfig, run_scenario
+
+PROTOCOLS = ("tesla", "mu_tesla", "multilevel", "eftp", "edrp", "tesla_pp", "dap")
+
+CAMPAIGN = dict(
+    intervals=60,  # one-minute reporting epochs, an hour-long campaign
+    interval_duration=1.0,
+    receivers=8,  # participating mobile nodes
+    buffers=4,  # each node spares 4 record buffers
+    attack_fraction=0.8,  # severe flood: 4 of 5 copies are forged
+    loss_probability=0.1,  # low-QoS urban channel
+    announce_copies=5,
+    sensing_tasks=4,
+    seed=2016,
+)
+
+
+def describe_workload() -> None:
+    workload = CrowdsensingWorkload(num_tasks=CAMPAIGN["sensing_tasks"], seed=2016)
+    print("Sensing tasks in the campaign:")
+    for task in workload.tasks:
+        print(
+            f"  task {task.task_id}: {task.kind:<12s} at"
+            f" ({task.x:.2f}, {task.y:.2f})"
+        )
+    sample = CrowdsensingWorkload.decode_report(workload.report_for(interval=7, copy=1))
+    print(
+        f"sample report: task {sample.task_id}, epoch {sample.interval},"
+        f" reading {sample.reading:.2f} (packed into 200 bits)\n"
+    )
+
+
+def main() -> None:
+    describe_workload()
+    print(
+        f"campaign: {CAMPAIGN['intervals']} epochs, {CAMPAIGN['receivers']} nodes,"
+        f" p = {CAMPAIGN['attack_fraction']}, loss = {CAMPAIGN['loss_probability']}\n"
+    )
+    header = (
+        f"{'protocol':<11s} {'auth rate':>9s} {'lost':>9s}"
+        f" {'forged acc.':>11s} {'peak mem (b)':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for protocol in PROTOCOLS:
+        outcome = run_scenario(ScenarioConfig(protocol=protocol, **CAMPAIGN))
+        results[protocol] = outcome
+        lost = 1.0 - outcome.authentication_rate
+        print(
+            f"{protocol:<11s} {outcome.authentication_rate:>9.3f}"
+            f" {lost:>9.3f}"
+            f" {outcome.fleet.total_forged_accepted:>11d}"
+            f" {outcome.fleet.peak_buffer_bits:>12d}"
+        )
+
+    print()
+    dap = results["dap"]
+    tpp = results["tesla_pp"]
+    print(
+        f"DAP delivers {dap.authentication_rate:.0%} of reports where TESLA++'s"
+        f" keep-first buffering delivers {tpp.authentication_rate:.0%},"
+        f" in {dap.fleet.peak_buffer_bits / tpp.fleet.peak_buffer_bits:.0%}"
+        f" of the buffer memory."
+    )
+    assert all(r.fleet.total_forged_accepted == 0 for r in results.values())
+    print("integrity: zero forged packets authenticated, in every protocol.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Explore the game's phase space: ASCII phase portraits and regime maps.
+
+Reproduces Fig. 6 interactively in the terminal: for any (p, m) it
+draws the replicator vector field, the trajectory from (0.5, 0.5) and
+the equilibrium it reaches; then sweeps m to print the regime bands.
+
+Run:  python examples/evolution_explorer.py [p] [m]
+e.g.  python examples/evolution_explorer.py 0.8 30
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import regime_bands
+from repro.game import (
+    ReplicatorDynamics,
+    fixed_points,
+    paper_parameters,
+    realized_ess,
+)
+
+GRID = 21  # portrait resolution
+
+
+def ascii_portrait(p: float, m: int) -> None:
+    params = paper_parameters(p=p, m=m, max_buffers=100)
+    dynamics = ReplicatorDynamics(params)
+    point, trajectory = realized_ess(params)
+
+    # Rasterise the trajectory and the fixed points onto the grid.
+    cells = [[" "] * GRID for _ in range(GRID)]
+    for i in range(GRID):
+        for j in range(GRID):
+            x = j / (GRID - 1)
+            y = i / (GRID - 1)
+            dx, dy = dynamics.derivatives(x, y)
+            if abs(dx) < 1e-9 and abs(dy) < 1e-9:
+                cells[i][j] = "."
+            elif abs(dx) > abs(dy):
+                cells[i][j] = ">" if dx > 0 else "<"
+            else:
+                cells[i][j] = "^" if dy > 0 else "v"
+    for x, y in zip(trajectory.xs, trajectory.ys):
+        j = round(float(x) * (GRID - 1))
+        i = round(float(y) * (GRID - 1))
+        cells[i][j] = "*"
+    fx, fy = trajectory.final
+    cells[round(fy * (GRID - 1))][round(fx * (GRID - 1))] = "@"
+
+    label = point.ess_type.value if point else "unclassified"
+    print(f"\nphase portrait at p={p}, m={m} — trajectory (*) reaches {label} (@)")
+    print("Y=1 " + "-" * GRID)
+    for i in range(GRID - 1, -1, -1):
+        print("    " + "".join(cells[i]))
+    print("Y=0 " + "-" * GRID)
+    print("    X=0" + " " * (GRID - 6) + "X=1")
+
+    print("\nrest points:")
+    for fp in fixed_points(params):
+        marker = "  <- ESS" if fp.is_ess else ""
+        print(
+            f"  {fp.ess_type.value:<7s} at ({fp.x:.3f}, {fp.y:.3f})"
+            f" [{fp.stability.value}]{marker}"
+        )
+
+
+def regime_map(p: float) -> None:
+    base = paper_parameters(p=p, m=1, max_buffers=100)
+    bands, _ = regime_bands(base, list(range(1, 101, 1)))
+    print(f"\nregime bands over m = 1..100 at p = {p}:")
+    for band in bands:
+        label = band.ess_type.value if band.ess_type else "?"
+        print(f"  m in {band.m_min:>3d}..{band.m_max:<3d} -> ESS {label}")
+
+
+def main() -> None:
+    p = float(sys.argv[1]) if len(sys.argv) > 1 else 0.8
+    m = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+    ascii_portrait(p, m)
+    regime_map(p)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools predates self-contained editable
+wheels (PEP 660 needs the ``wheel`` package there). All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Toward Optimal DoS-Resistant Authentication
+in Crowdsensing Networks via Evolutionary Game" (ICDCS 2016).
+
+Layers (see DESIGN.md for the full inventory):
+
+- :mod:`repro.crypto` / :mod:`repro.timesync` / :mod:`repro.buffers` —
+  the substrates every TESLA-family protocol stands on;
+- :mod:`repro.protocols` — TESLA, μTESLA, multi-level μTESLA, EFTP,
+  EDRP, TESLA++ and the paper's DAP;
+- :mod:`repro.game` — the attack-defense evolutionary game: payoffs,
+  replicator dynamics, ESS analysis, Algorithm 3 buffer optimisation,
+  and the adaptive runtime policy;
+- :mod:`repro.sim` — the discrete-event crowdsensing simulator the
+  evaluation runs on;
+- :mod:`repro.analysis` — the models behind the paper's figures.
+
+Quickstart::
+
+    from repro.game import paper_parameters, realized_ess
+    point, trajectory = realized_ess(paper_parameters(p=0.8, m=30))
+    print(point.ess_type, trajectory.final)
+
+    from repro.sim import ScenarioConfig, run_scenario
+    result = run_scenario(ScenarioConfig(protocol="dap",
+                                         attack_fraction=0.8, buffers=8))
+    print(result.authentication_rate)
+"""
+
+from repro import analysis, buffers, crypto, game, protocols, sim, timesync
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "analysis",
+    "buffers",
+    "crypto",
+    "game",
+    "protocols",
+    "sim",
+    "timesync",
+]

@@ -1,0 +1,106 @@
+"""Evaluation analytics: the models behind the paper's figures.
+
+- :mod:`~repro.analysis.bandwidth` — Fig. 5 (DAP vs TESLA++ bandwidth)
+- :mod:`~repro.analysis.trajectories` — Fig. 6 (evolution regimes)
+- :mod:`~repro.analysis.costs` — Fig. 7 and Fig. 8 (optimal m, costs)
+- :mod:`~repro.analysis.sweep` — shared sweep utilities
+"""
+
+from repro.analysis.bandwidth import (
+    PAPER_MEMORY_LARGE_BITS,
+    PAPER_MEMORY_SMALL_BITS,
+    PAPER_RECORD_BITS_DAP,
+    PAPER_RECORD_BITS_TESLAPP,
+    PAPER_XD,
+    Fig5Point,
+    attack_success_probability,
+    attacker_bandwidth_required,
+    buffer_multiplier,
+    buffers_for_memory,
+    fig5_series,
+    mac_bandwidth_required,
+    memory_saving_ratio,
+    required_forged_fraction,
+)
+from repro.analysis.boundaries import (
+    RegimeBoundaries,
+    corner_to_edge_boundary,
+    edge_to_interior_boundary,
+    interior_to_give_up_boundary,
+    regime_boundaries,
+)
+from repro.analysis.costs import CostCurves, CostPoint, cost_curves, crossover_p
+from repro.analysis.reporting import (
+    ascii_phase_portrait,
+    ascii_series_plot,
+    render_table,
+    write_csv,
+)
+from repro.analysis.statistics import (
+    MeanEstimate,
+    attack_success_hypergeometric,
+    attack_success_iid,
+    iid_vs_exact_gap,
+    mean,
+    mean_estimate,
+    sample_std,
+    survival_probability,
+    wilson_interval,
+)
+from repro.analysis.sweep import SweepResult, open_interval_grid, sweep
+from repro.analysis.trajectories import (
+    RegimeBand,
+    classify_trajectory,
+    is_spiral,
+    phase_portrait,
+    regime_bands,
+    settling_steps,
+)
+
+__all__ = [
+    "CostCurves",
+    "CostPoint",
+    "Fig5Point",
+    "MeanEstimate",
+    "RegimeBoundaries",
+    "ascii_phase_portrait",
+    "corner_to_edge_boundary",
+    "edge_to_interior_boundary",
+    "interior_to_give_up_boundary",
+    "regime_boundaries",
+    "ascii_series_plot",
+    "attack_success_hypergeometric",
+    "attack_success_iid",
+    "iid_vs_exact_gap",
+    "mean",
+    "mean_estimate",
+    "render_table",
+    "sample_std",
+    "survival_probability",
+    "wilson_interval",
+    "write_csv",
+    "PAPER_MEMORY_LARGE_BITS",
+    "PAPER_MEMORY_SMALL_BITS",
+    "PAPER_RECORD_BITS_DAP",
+    "PAPER_RECORD_BITS_TESLAPP",
+    "PAPER_XD",
+    "RegimeBand",
+    "SweepResult",
+    "attack_success_probability",
+    "attacker_bandwidth_required",
+    "buffer_multiplier",
+    "buffers_for_memory",
+    "classify_trajectory",
+    "cost_curves",
+    "crossover_p",
+    "fig5_series",
+    "is_spiral",
+    "mac_bandwidth_required",
+    "memory_saving_ratio",
+    "open_interval_grid",
+    "phase_portrait",
+    "regime_bands",
+    "required_forged_fraction",
+    "settling_steps",
+    "sweep",
+]

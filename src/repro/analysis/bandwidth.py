@@ -1,0 +1,213 @@
+"""Bandwidth/memory trade-off model behind Fig. 5 (paper §VI-A).
+
+Setting: a node dedicates ``Mem`` bits of buffer memory; each buffered
+record costs ``s`` bits (``s1 = 280`` for TESLA++ as the paper accounts
+it, ``s2 = 56`` for DAP), so the node affords ``m = Mem / s`` buffers.
+With forged-copy fraction ``p`` the attack succeeds with ``P = p^m``.
+The paper's evaluation formula is
+
+.. math::
+
+    x_m = p\\,(1 - x_d) = P^{1/m} (1 - x_d), \\qquad x_d = 0.2
+
+The paper does not pin down whose bandwidth ``x_m`` is (see DESIGN.md
+§"Fig 5 formula note"); both readings are implemented:
+
+- :func:`attacker_bandwidth_required` — the literal formula: the share
+  of the non-data bandwidth the **attacker** must capture so the attack
+  succeeds with probability ``P``. More buffers (DAP) push it *up*:
+  the attacker must outspend.
+- :func:`mac_bandwidth_required` — the defender's dual: the MAC
+  bandwidth needed to keep the forged fraction at ``P^{1/m}`` against
+  an attacker budget ``xa``. More buffers push it *down*: the sender
+  can protect the channel more cheaply.
+
+Either way DAP strictly dominates TESLA++ at equal memory, which is
+the figure's headline shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PAPER_XD",
+    "PAPER_RECORD_BITS_TESLAPP",
+    "PAPER_RECORD_BITS_DAP",
+    "PAPER_MEMORY_LARGE_BITS",
+    "PAPER_MEMORY_SMALL_BITS",
+    "buffers_for_memory",
+    "attack_success_probability",
+    "required_forged_fraction",
+    "attacker_bandwidth_required",
+    "mac_bandwidth_required",
+    "memory_saving_ratio",
+    "buffer_multiplier",
+    "Fig5Point",
+    "fig5_series",
+]
+
+#: §VI-A: fraction of bandwidth carrying data payloads.
+PAPER_XD = 0.2
+#: §VI-A: per-packet storage, TESLA++ as the paper accounts it.
+PAPER_RECORD_BITS_TESLAPP = 280
+#: §VI-A: per-packet storage in DAP (24-bit μMAC + 32-bit index).
+PAPER_RECORD_BITS_DAP = 56
+#: §VI-A: "Storage Mem = 1024kb, 512kb" (kilobits).
+PAPER_MEMORY_LARGE_BITS = 1024 * 1000
+PAPER_MEMORY_SMALL_BITS = 512 * 1000
+
+
+def buffers_for_memory(memory_bits: int, record_bits: int) -> int:
+    """``m = Mem / s`` — buffers a memory budget affords."""
+    if memory_bits <= 0:
+        raise ConfigurationError(f"memory_bits must be positive, got {memory_bits}")
+    if record_bits <= 0:
+        raise ConfigurationError(f"record_bits must be positive, got {record_bits}")
+    m = memory_bits // record_bits
+    if m < 1:
+        raise ConfigurationError(
+            f"memory {memory_bits}b holds no {record_bits}b record"
+        )
+    return m
+
+
+def attack_success_probability(p: float, m: int) -> float:
+    """``P = p^m``: no authentic copy survives ``m`` reservoir buffers."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return p ** m
+
+
+def required_forged_fraction(target_success: float, m: int) -> float:
+    """``p = P^{1/m}``: forged fraction needed for success probability P."""
+    if not 0.0 < target_success <= 1.0:
+        raise ConfigurationError(
+            f"target_success must be in (0, 1], got {target_success}"
+        )
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return target_success ** (1.0 / m)
+
+
+def attacker_bandwidth_required(
+    target_success: float, m: int, xd: float = PAPER_XD
+) -> float:
+    """The paper's literal ``xm = P^{1/m} (1 - xd)``.
+
+    Interpreted as the absolute bandwidth fraction the attacker must
+    flood (out of the ``1 - xd`` not carrying data) so that the forged
+    fraction reaches ``P^{1/m}`` and the attack succeeds with
+    probability ``target_success``.
+    """
+    if not 0.0 <= xd < 1.0:
+        raise ConfigurationError(f"xd must be in [0, 1), got {xd}")
+    return required_forged_fraction(target_success, m) * (1.0 - xd)
+
+
+def mac_bandwidth_required(
+    attacker_fraction: float,
+    target_success: float,
+    m: int,
+    xd: float = PAPER_XD,
+) -> float:
+    """Defender's dual reading: MAC bandwidth capping the attack at ``P``.
+
+    If the attacker floods an absolute bandwidth fraction ``xa`` and the
+    sender spends ``xm`` on MAC copies, the forged fraction is
+    ``p = xa / (xa + xm)``. Keeping ``p <= P^{1/m}`` needs
+
+    .. math:: x_m \\ge x_a \\frac{1 - P^{1/m}}{P^{1/m}}
+
+    capped at the available non-data bandwidth ``1 - xd``.
+    """
+    if attacker_fraction < 0:
+        raise ConfigurationError(
+            f"attacker_fraction must be >= 0, got {attacker_fraction}"
+        )
+    if not 0.0 <= xd < 1.0:
+        raise ConfigurationError(f"xd must be in [0, 1), got {xd}")
+    p_needed = required_forged_fraction(target_success, m)
+    if p_needed <= 0.0:
+        return 1.0 - xd
+    required = attacker_fraction * (1.0 - p_needed) / p_needed
+    return min(required, 1.0 - xd)
+
+
+def memory_saving_ratio(
+    old_bits: int = PAPER_RECORD_BITS_TESLAPP, new_bits: int = PAPER_RECORD_BITS_DAP
+) -> float:
+    """§IV-D's headline: 1 - 56/280 = 0.8 (80% of record memory saved)."""
+    if old_bits <= 0 or new_bits <= 0:
+        raise ConfigurationError("record sizes must be positive")
+    return 1.0 - new_bits / old_bits
+
+
+def buffer_multiplier(
+    old_bits: int = PAPER_RECORD_BITS_TESLAPP, new_bits: int = PAPER_RECORD_BITS_DAP
+) -> float:
+    """§IV-D: "the number of buffers in a node could be 5 times as before"."""
+    if old_bits <= 0 or new_bits <= 0:
+        raise ConfigurationError("record sizes must be positive")
+    return old_bits / new_bits
+
+
+@dataclass(frozen=True)
+class Fig5Point:
+    """One point of a Fig. 5 series."""
+
+    attack_level: float
+    protocol: str
+    memory_bits: int
+    buffers: int
+    attacker_bandwidth: float
+    mac_bandwidth: float
+
+
+def fig5_series(
+    attack_levels: Sequence[float],
+    xd: float = PAPER_XD,
+    memories: Sequence[int] = (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS),
+    defender_budget: float = 0.2,
+) -> Dict[Tuple[str, int], List[Fig5Point]]:
+    """All four Fig. 5 curves: {TESLA++, DAP} x {1024kb, 512kb}.
+
+    Args:
+        attack_levels: grid of attack success probabilities ``P`` (the
+            figure's "level of DoS attack").
+        xd: data-bandwidth fraction (paper: 0.2).
+        memories: node memory budgets in bits.
+        defender_budget: attacker bandwidth assumed when evaluating the
+            defender-dual reading.
+
+    Returns:
+        mapping ``(protocol, memory_bits) -> [Fig5Point, ...]``.
+    """
+    protocols = {
+        "TESLA++": PAPER_RECORD_BITS_TESLAPP,
+        "DAP": PAPER_RECORD_BITS_DAP,
+    }
+    series: Dict[Tuple[str, int], List[Fig5Point]] = {}
+    for name, record_bits in protocols.items():
+        for memory in memories:
+            m = buffers_for_memory(memory, record_bits)
+            points = [
+                Fig5Point(
+                    attack_level=level,
+                    protocol=name,
+                    memory_bits=memory,
+                    buffers=m,
+                    attacker_bandwidth=attacker_bandwidth_required(level, m, xd),
+                    mac_bandwidth=mac_bandwidth_required(
+                        defender_budget, level, m, xd
+                    ),
+                )
+                for level in attack_levels
+            ]
+            series[(name, memory)] = points
+    return series

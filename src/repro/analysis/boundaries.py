@@ -1,0 +1,169 @@
+"""Analytic regime boundaries of the evolutionary game.
+
+The paper reports the four ESS regimes for p = 0.8 as empirical bands
+(m = 1-11, 12-17, 18-54, 55-100). The band edges are actually roots of
+the §V-E stability conditions, so they can be computed for *any*
+attack level:
+
+- ``(1,1) -> (1,Y')``: the corner loses stability when ``Y'`` enters
+  the simplex, i.e. ``p^m Ra = k1 xa`` — closed form
+  ``m = log(k1 p / Ra) / log(p)`` (using ``xa = p``).
+- ``(1,Y') -> (X̄,Ȳ)``: the edge point loses stability when
+  ``Ra (1-p^m) Y' = k2 m`` — transcendental, solved by bisection.
+- ``(X̄,Ȳ) -> (X',1)``: the interior point exits through ``Ȳ = 1``,
+  ``k2 m Ra = k1 k2 m xa + (1-p^m)^2 Ra^2`` — bisection.
+
+These power the Fig. 6/7 analyses without sweeping every ``m``, and
+the test suite pins them against the numeric stability classification.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import GameParameters
+
+__all__ = [
+    "RegimeBoundaries",
+    "corner_to_edge_boundary",
+    "edge_to_interior_boundary",
+    "interior_to_give_up_boundary",
+    "regime_boundaries",
+]
+
+
+def _check_open_p(params: GameParameters) -> None:
+    if not 0.0 < params.p < 1.0:
+        raise ConfigurationError(
+            f"regime boundaries need p in (0, 1), got {params.p}"
+        )
+
+
+def _bisect(
+    fn: Callable[[float], float], lo: float, hi: float, iterations: int = 200
+) -> Optional[float]:
+    """Root of ``fn`` in [lo, hi] by bisection; ``None`` if no sign change."""
+    flo, fhi = fn(lo), fn(hi)
+    if flo == 0.0:
+        return lo
+    if fhi == 0.0:
+        return hi
+    if (flo > 0) == (fhi > 0):
+        return None
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        fmid = fn(mid)
+        if fmid == 0.0:
+            return mid
+        if (fmid > 0) == (flo > 0):
+            lo, flo = mid, fmid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def corner_to_edge_boundary(params: GameParameters) -> float:
+    """Real-valued ``m`` where (1,1) hands over to (1,Y').
+
+    Closed form from ``p^m Ra = k1 xa``: the corner is stable for all
+    integer ``m`` strictly below this value.
+    """
+    _check_open_p(params)
+    ratio = params.k1 * params.xa / params.ra
+    if ratio >= 1.0:
+        raise ConfigurationError(
+            "k1·xa >= Ra violates the paper's Ra > Ca assumption"
+        )
+    return math.log(ratio) / math.log(params.p)
+
+
+def edge_to_interior_boundary(params: GameParameters) -> Optional[float]:
+    """Real-valued ``m`` where (1,Y') hands over to the interior point.
+
+    Root of the (1,Y') stability condition
+    ``Ra (1 - p^m) Y'(m) = k2 m`` with ``Y' = p^m Ra / (k1 xa)``.
+    """
+    _check_open_p(params)
+
+    def gap(m: float) -> float:
+        pm = params.p ** m
+        y_prime = pm * params.ra / (params.k1 * params.xa)
+        return params.ra * (1.0 - pm) * y_prime - params.k2 * m
+
+    lower = corner_to_edge_boundary(params)
+    return _bisect(gap, lower + 1e-9, 10_000.0)
+
+
+def interior_to_give_up_boundary(params: GameParameters) -> Optional[float]:
+    """Real-valued ``m`` where the interior point exits through Ȳ = 1.
+
+    The condition ``Ȳ < 1`` reads ``g(m) < 0`` with
+    ``g(m) = k2 m Ra - k1 k2 m xa - (1-p^m)^2 Ra^2``; ``g`` has two
+    roots (it is positive for tiny ``m``, negative through the interior
+    regime, and grows linearly for large ``m``). The regime hand-over is
+    the *upper* root, so we bracket from inside the interior band.
+    """
+    _check_open_p(params)
+
+    def gap(m: float) -> float:
+        q = 1.0 - params.p ** m
+        return (
+            params.k2 * m * params.ra
+            - params.k1 * params.k2 * m * params.xa
+            - q * q * params.ra ** 2
+        )
+
+    lower = edge_to_interior_boundary(params)
+    probe = (lower or 1.0) + 1e-6
+    # walk right until we are inside the interior band (g < 0)
+    for _ in range(64):
+        if gap(probe) < 0:
+            break
+        probe += max(probe, 1.0)
+        if probe > 10_000.0:
+            return None
+    else:
+        return None
+    return _bisect(gap, probe, 1_000_000.0)
+
+
+@dataclass(frozen=True)
+class RegimeBoundaries:
+    """The three band edges for one attack level (real-valued ``m``).
+
+    The integer bands follow by flooring: e.g. (1,1) is the ESS for
+    ``m <= floor(corner_to_edge)``.
+    """
+
+    p: float
+    corner_to_edge: float
+    edge_to_interior: Optional[float]
+    interior_to_give_up: Optional[float]
+
+    def band_of(self, m: int) -> str:
+        """Which analytic regime an integer ``m`` falls in.
+
+        Ordered so that the test also works at extreme attack levels
+        where the middle bands collapse (the boundaries then interleave
+        and one or both intermediate regimes are empty).
+        """
+        if m <= self.corner_to_edge:
+            return "(1,1)"
+        if self.interior_to_give_up is not None and m > self.interior_to_give_up:
+            return "(X',1)"
+        if self.edge_to_interior is not None and m > self.edge_to_interior:
+            return "(X,Y)"
+        return "(1,Y')"
+
+
+def regime_boundaries(params: GameParameters) -> RegimeBoundaries:
+    """All three band edges for ``params.p``."""
+    return RegimeBoundaries(
+        p=params.p,
+        corner_to_edge=corner_to_edge_boundary(params),
+        edge_to_interior=edge_to_interior_boundary(params),
+        interior_to_give_up=interior_to_give_up_boundary(params),
+    )

@@ -1,0 +1,165 @@
+"""Rendering and export: text tables, ASCII plots, CSV files.
+
+Terminal-first output for the CLI, the examples and the benchmark
+harness — the evaluation is reproducible on a headless machine with no
+plotting stack. CSV export exists so the figure data can be re-plotted
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.game.ess import fixed_points, realized_ess
+from repro.game.parameters import GameParameters
+from repro.game.replicator import ReplicatorDynamics
+
+__all__ = [
+    "render_table",
+    "write_csv",
+    "ascii_series_plot",
+    "ascii_phase_portrait",
+]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Format an aligned text table."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(f"=== {title} ===")
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: "Path | str", headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> Path:
+    """Write rows to a CSV file, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target
+
+
+_PLOT_MARKS = "ox+*#@%&"
+
+
+def ascii_series_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter chart.
+
+    Each series gets its own mark; axes are annotated with the data
+    ranges and a legend maps marks to labels.
+    """
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot must be at least 8x4")
+    points = [pt for pts in series.values() for pt in pts]
+    if not points:
+        raise ConfigurationError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(series.items()):
+        mark = _PLOT_MARKS[index % len(_PLOT_MARKS)]
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + "|" + "".join(row))
+    lines.append(f"{y_min:10.3f} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 11 + f"{x_min:<10.3f}" + " " * max(width - 20, 1) + f"{x_max:>9.3f}"
+    )
+    legend = "   ".join(
+        f"{_PLOT_MARKS[i % len(_PLOT_MARKS)]} = {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def ascii_phase_portrait(params: GameParameters, grid: int = 21) -> str:
+    """Fig. 6-style phase portrait of the replicator field as text.
+
+    Arrows show the dominant flow direction; ``*`` traces the paper's
+    trajectory from (0.5, 0.5); ``@`` marks where it settles.
+    """
+    if grid < 5:
+        raise ConfigurationError(f"grid must be >= 5, got {grid}")
+    dynamics = ReplicatorDynamics(params)
+    point, trajectory = realized_ess(params)
+
+    cells = [[" "] * grid for _ in range(grid)]
+    for i in range(grid):
+        for j in range(grid):
+            x = j / (grid - 1)
+            y = i / (grid - 1)
+            dx, dy = dynamics.derivatives(x, y)
+            if abs(dx) < 1e-9 and abs(dy) < 1e-9:
+                cells[i][j] = "."
+            elif abs(dx) > abs(dy):
+                cells[i][j] = ">" if dx > 0 else "<"
+            else:
+                cells[i][j] = "^" if dy > 0 else "v"
+    for x, y in zip(trajectory.xs, trajectory.ys):
+        cells[round(float(y) * (grid - 1))][round(float(x) * (grid - 1))] = "*"
+    fx, fy = trajectory.final
+    cells[round(fy * (grid - 1))][round(fx * (grid - 1))] = "@"
+
+    label = point.ess_type.value if point else "unclassified"
+    lines = [
+        f"phase portrait p={params.p} m={params.m} — trajectory (*) reaches"
+        f" {label} (@)",
+        "Y=1 " + "-" * grid,
+    ]
+    for i in range(grid - 1, -1, -1):
+        lines.append("    " + "".join(cells[i]))
+    lines.append("Y=0 " + "-" * grid)
+    lines.append("    X=0" + " " * (grid - 6) + "X=1")
+    lines.append("rest points:")
+    for fp in fixed_points(params):
+        marker = "  <- ESS" if fp.is_ess else ""
+        lines.append(
+            f"  {fp.ess_type.value:<7s} ({fp.x:.3f}, {fp.y:.3f})"
+            f" [{fp.stability.value}]{marker}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Statistics for the DoS-resistance models and the experiment harness.
+
+The paper prices attacks with the i.i.d. approximation ``P = p^m``; a
+receiver that reservoir-samples ``m`` of a *finite* pool of copies
+actually faces a hypergeometric survival law. Both live here, together
+with the confidence-interval machinery the multi-seed experiment runner
+(:mod:`repro.sim.experiments`) reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "attack_success_iid",
+    "attack_success_hypergeometric",
+    "survival_probability",
+    "iid_vs_exact_gap",
+    "mean",
+    "sample_std",
+    "MeanEstimate",
+    "mean_estimate",
+    "wilson_interval",
+]
+
+
+def attack_success_iid(p: float, m: int) -> float:
+    """The paper's ``P = p^m``: every kept copy independently forged."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return p ** m
+
+
+def attack_success_hypergeometric(authentic: int, forged: int, m: int) -> float:
+    """Exact attack success for a finite copy pool.
+
+    The reservoir keeps a uniform ``m``-subset of the
+    ``authentic + forged`` copies; the attack succeeds iff that subset
+    contains no authentic copy: ``C(forged, m) / C(total, m)``.
+    Converges to ``p^m`` with ``p = forged/total`` as the pool grows.
+    """
+    if authentic < 0 or forged < 0:
+        raise ConfigurationError("copy counts must be >= 0")
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    total = authentic + forged
+    if total == 0:
+        raise ConfigurationError("pool must be non-empty")
+    if m >= total:
+        return 0.0 if authentic else 1.0
+    if forged < m:
+        return 0.0
+    return math.comb(forged, m) / math.comb(total, m)
+
+
+def survival_probability(authentic: int, forged: int, m: int) -> float:
+    """``1 - attack_success``: at least one authentic copy survives."""
+    return 1.0 - attack_success_hypergeometric(authentic, forged, m)
+
+
+def iid_vs_exact_gap(authentic: int, forged: int, m: int) -> float:
+    """How far the paper's ``p^m`` sits from the exact finite-pool value.
+
+    Positive: the i.i.d. approximation *overstates* the attack (it
+    samples forged copies with replacement). Shrinks as the pool grows.
+    """
+    total = authentic + forged
+    if total == 0:
+        raise ConfigurationError("pool must be non-empty")
+    p = forged / total
+    return attack_success_iid(p, m) - attack_success_hypergeometric(
+        authentic, forged, m
+    )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (raises on empty input — silent NaNs hide bugs)."""
+    if not values:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0.0 for single values."""
+    if not values:
+        raise ConfigurationError("std of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+@dataclass(frozen=True)
+class MeanEstimate:
+    """A mean with its spread, as the experiment runner reports it.
+
+    Attributes:
+        mean: sample mean.
+        std: unbiased sample standard deviation.
+        count: number of samples.
+        low / high: normal-approximation confidence bounds.
+    """
+
+    mean: float
+    std: float
+    count: int
+    low: float
+    high: float
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.mean:.4f} ± {self.std:.4f} (n={self.count})"
+
+
+#: z-values for the confidence levels the harness offers.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def mean_estimate(values: Sequence[float], confidence: float = 0.95) -> MeanEstimate:
+    """Mean ± normal-approximation confidence interval over samples."""
+    z = _Z.get(confidence)
+    if z is None:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        )
+    mu = mean(values)
+    sd = sample_std(values)
+    half = z * sd / math.sqrt(len(values))
+    return MeanEstimate(mean=mu, std=sd, count=len(values), low=mu - half, high=mu + half)
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at the extremes —
+    which is exactly where DoS experiments live (success rates near 0
+    or 1).
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes {successes} outside 0..{trials}"
+        )
+    z = _Z.get(confidence)
+    if z is None:
+        raise ConfigurationError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        )
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (phat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(centre - margin, 0.0), min(centre + margin, 1.0))

@@ -1,0 +1,53 @@
+"""Small parameter-sweep utilities shared by benches and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["open_interval_grid", "SweepResult", "sweep"]
+
+T = TypeVar("T")
+V = TypeVar("V")
+
+
+def open_interval_grid(
+    low: float, high: float, count: int, margin: float = 1e-3
+) -> List[float]:
+    """A uniform grid strictly inside ``(low, high)``.
+
+    The game degenerates at ``p = 0`` and ``p = 1`` exactly, so sweeps
+    over attack levels pull the endpoints in by ``margin``.
+    """
+    if count < 2:
+        raise ConfigurationError(f"count must be >= 2, got {count}")
+    if not low < high:
+        raise ConfigurationError(f"need low < high, got [{low}, {high}]")
+    if margin <= 0 or 2 * margin >= high - low:
+        raise ConfigurationError(f"margin {margin} too large for [{low}, {high}]")
+    return list(np.linspace(low + margin, high - margin, count))
+
+
+@dataclass(frozen=True)
+class SweepResult(Generic[T, V]):
+    """A recorded sweep: inputs paired with outputs."""
+
+    inputs: Tuple[T, ...]
+    outputs: Tuple[V, ...]
+
+    def __iter__(self):
+        return iter(zip(self.inputs, self.outputs))
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+def sweep(values: Sequence[T], fn: Callable[[T], V]) -> SweepResult[T, V]:
+    """Evaluate ``fn`` over ``values`` and keep inputs and outputs paired."""
+    inputs = tuple(values)
+    outputs = tuple(fn(value) for value in inputs)
+    return SweepResult(inputs=inputs, outputs=outputs)

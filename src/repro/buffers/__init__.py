@@ -1,0 +1,19 @@
+"""DoS-resistant packet buffering: reservoir selection and indexed pools."""
+
+from repro.buffers.pool import IndexedBufferPool
+from repro.buffers.reservoir import (
+    KeepFirstBuffer,
+    OfferOutcome,
+    OfferResult,
+    PacketBuffer,
+    ReservoirBuffer,
+)
+
+__all__ = [
+    "IndexedBufferPool",
+    "KeepFirstBuffer",
+    "OfferOutcome",
+    "OfferResult",
+    "PacketBuffer",
+    "ReservoirBuffer",
+]

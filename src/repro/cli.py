@@ -1,0 +1,366 @@
+"""Command-line interface: the paper's analyses from a terminal.
+
+Subcommands::
+
+    repro solve       classify equilibria for one (p, m) game
+    repro optimize    Algorithm 3: sweep m, pick the optimum
+    repro simulate    run a protocol scenario across seeds
+    repro figures     regenerate Fig. 5-8 data as CSV + ASCII plots
+    repro sensitivity robustness of m* to the economic constants
+    repro portrait    ASCII phase portrait of the replicator field
+    repro boundaries  analytic ESS regime boundaries over m
+
+Every subcommand is a thin shim over the library — anything printed
+here is available programmatically (see README).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.bandwidth import fig5_series
+from repro.analysis.costs import cost_curves
+from repro.analysis.reporting import (
+    ascii_phase_portrait,
+    ascii_series_plot,
+    render_table,
+    write_csv,
+)
+from repro.analysis.sweep import open_interval_grid
+from repro.analysis.trajectories import regime_bands
+from repro.errors import ReproError
+from repro.game.ess import fixed_points, realized_ess
+from repro.game.optimizer import BufferOptimizer, naive_defense_cost
+from repro.game.parameters import GameParameters, paper_parameters
+from repro.game.sensitivity import recommendation_stability
+from repro.sim.experiments import run_repeated
+from repro.sim.scenario import ScenarioConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_game_constants(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ra", type=float, default=200.0, help="attacker reward Ra")
+    parser.add_argument("--k1", type=float, default=20.0, help="attacker cost coeff")
+    parser.add_argument("--k2", type=float, default=4.0, help="defender cost coeff")
+    parser.add_argument(
+        "--max-buffers", type=int, default=50, help="hardware buffer cap M"
+    )
+
+
+def _params(args: argparse.Namespace, m: int = 1) -> GameParameters:
+    return GameParameters(
+        ra=args.ra,
+        k1=args.k1,
+        k2=args.k2,
+        p=args.p,
+        m=m,
+        max_buffers=args.max_buffers,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DoS-resistant authentication via evolutionary game"
+        " (ICDCS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="classify equilibria for one (p, m)")
+    solve.add_argument("--p", type=float, required=True, help="attack level in [0,1]")
+    solve.add_argument("--m", type=int, required=True, help="defender buffers")
+    _add_game_constants(solve)
+
+    optimize = sub.add_parser("optimize", help="Algorithm 3 buffer optimisation")
+    optimize.add_argument("--p", type=float, required=True)
+    optimize.add_argument(
+        "--selection",
+        choices=("argmin", "paper"),
+        default="argmin",
+        help="argmin (corrected) or the published running-min loop",
+    )
+    optimize.add_argument("--full", action="store_true", help="print the whole sweep")
+    _add_game_constants(optimize)
+
+    simulate = sub.add_parser("simulate", help="run a protocol scenario")
+    simulate.add_argument(
+        "--protocol",
+        default="dap",
+        choices=("dap", "tesla_pp", "tesla", "mu_tesla", "multilevel", "eftp", "edrp"),
+    )
+    simulate.add_argument("--p", type=float, default=0.0, help="attack fraction")
+    simulate.add_argument("--buffers", type=int, default=4)
+    simulate.add_argument("--intervals", type=int, default=60)
+    simulate.add_argument("--receivers", type=int, default=5)
+    simulate.add_argument("--loss", type=float, default=0.0)
+    simulate.add_argument("--seeds", type=int, default=5, help="repetitions")
+
+    figures = sub.add_parser("figures", help="regenerate Fig. 5-8 data")
+    figures.add_argument("--out", type=Path, default=Path("figures"))
+    figures.add_argument("--points", type=int, default=25, help="sweep resolution")
+    figures.add_argument("--no-plots", action="store_true", help="CSV only")
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="robustness of m* to Ra, k1, k2"
+    )
+    sensitivity.add_argument("--p", type=float, required=True)
+    sensitivity.add_argument(
+        "--error", type=float, default=0.25, help="relative perturbation"
+    )
+    _add_game_constants(sensitivity)
+
+    portrait = sub.add_parser("portrait", help="ASCII phase portrait")
+    portrait.add_argument("--p", type=float, required=True)
+    portrait.add_argument("--m", type=int, required=True)
+    portrait.add_argument("--grid", type=int, default=21)
+    _add_game_constants(portrait)
+
+    boundaries = sub.add_parser(
+        "boundaries", help="analytic ESS regime boundaries over m"
+    )
+    boundaries.add_argument("--p", type=float, required=True)
+    _add_game_constants(boundaries)
+
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    params = _params(args, m=args.m)
+    rows = []
+    for fp in fixed_points(params):
+        rows.append(
+            (
+                fp.ess_type.value,
+                f"({fp.x:.4f}, {fp.y:.4f})",
+                fp.stability.value,
+                "ESS" if fp.is_ess else "",
+            )
+        )
+    print(render_table(["candidate", "(X, Y)", "stability", ""], rows,
+                       title=f"rest points at p={args.p}, m={args.m}"))
+    point, trajectory = realized_ess(params)
+    label = point.ess_type.value if point else "unclassified"
+    print(
+        f"\nfrom (0.5, 0.5) the paper's Euler dynamics reach {label} at"
+        f" ({trajectory.final[0]:.4f}, {trajectory.final[1]:.4f})"
+        f" in {trajectory.steps} steps"
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    params = _params(args)
+    result = BufferOptimizer(params).optimize(selection=args.selection)
+    if args.full:
+        rows = [
+            (
+                row.m,
+                f"{row.x:.4f}",
+                f"{row.y:.4f}",
+                row.ess_type.value if row.ess_type else "?",
+                f"{row.cost:.3f}",
+                "<-- optimal" if row.m == result.optimal_m else "",
+            )
+            for row in result.rows
+        ]
+        print(render_table(["m", "X", "Y", "ESS", "cost E", ""], rows,
+                           title=f"Algorithm 3 sweep at p={args.p}"))
+    best = result.row_for(result.optimal_m)
+    naive = naive_defense_cost(params)
+    print(f"optimal m          : {result.optimal_m} ({args.selection})")
+    print(f"equilibrium        : {best.ess_type.value if best.ess_type else '?'}"
+          f" at ({best.x:.4f}, {best.y:.4f})")
+    print(f"defender cost E    : {best.cost:.3f}")
+    print(f"naive cost N (m=M) : {naive:.3f}")
+    print(f"saving             : {naive - best.cost:.3f} ({1 - best.cost / naive:.1%})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        protocol=args.protocol,
+        intervals=args.intervals,
+        receivers=args.receivers,
+        buffers=args.buffers,
+        attack_fraction=args.p,
+        loss_probability=args.loss,
+    )
+    outcome = run_repeated(config, seeds=list(range(1, args.seeds + 1)))
+    print(f"protocol            : {args.protocol}")
+    print(f"attack fraction     : {args.p}   loss: {args.loss}")
+    print(f"buffers m           : {args.buffers}")
+    print(f"authentication rate : {outcome.authentication_rate}")
+    print(f"attack success rate : {outcome.attack_success_rate}")
+    print(f"forged accepted     : {outcome.total_forged_accepted}")
+    print(f"peak buffer bits    : {outcome.peak_buffer_bits}")
+    if outcome.total_forged_accepted:
+        print("SECURITY INVARIANT VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    out: Path = args.out
+    base = paper_parameters(p=0.5, m=1)
+    grid = open_interval_grid(0.0, 1.0, args.points, margin=0.02)
+
+    # Fig. 5
+    levels = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    series = fig5_series(levels)
+    rows = [
+        (protocol, memory, point.attack_level, point.buffers,
+         point.attacker_bandwidth, point.mac_bandwidth)
+        for (protocol, memory), points in series.items()
+        for point in points
+    ]
+    path5 = write_csv(
+        out / "fig5_bandwidth.csv",
+        ["protocol", "memory_bits", "attack_level", "buffers",
+         "attacker_bandwidth", "mac_bandwidth"],
+        rows,
+    )
+
+    # Fig. 6
+    bands, labels = regime_bands(base.with_p(0.8), list(range(1, 101)))
+    path6 = write_csv(
+        out / "fig6_regimes.csv",
+        ["m", "ess"],
+        [(m, label.value if label else "?") for m, label in labels.items()],
+    )
+
+    # Fig. 7 + 8
+    curves = {
+        selection: cost_curves(base, grid, selection=selection)
+        for selection in ("paper", "argmin")
+    }
+    path7 = write_csv(
+        out / "fig7_optimal_m.csv",
+        ["p", "m_paper", "m_argmin"],
+        [
+            (p, mp, ma)
+            for p, mp, ma in zip(
+                grid, curves["paper"].optimal_ms, curves["argmin"].optimal_ms
+            )
+        ],
+    )
+    path8 = write_csv(
+        out / "fig8_costs.csv",
+        ["p", "game_cost", "naive_cost"],
+        [
+            (point.p, point.game_cost, point.naive_cost)
+            for point in curves["paper"].points
+        ],
+    )
+    for path in (path5, path6, path7, path8):
+        print(f"wrote {path}")
+
+    if not args.no_plots:
+        print()
+        print(
+            ascii_series_plot(
+                {
+                    "m* (paper Alg.3)": list(
+                        zip(grid, map(float, curves["paper"].optimal_ms))
+                    ),
+                    "m* (argmin)": list(
+                        zip(grid, map(float, curves["argmin"].optimal_ms))
+                    ),
+                },
+                title="Fig. 7 — optimal m vs attack level p",
+            )
+        )
+        print()
+        print(
+            ascii_series_plot(
+                {
+                    "E (game)": [
+                        (point.p, point.game_cost)
+                        for point in curves["paper"].points
+                    ],
+                    "N (naive)": [
+                        (point.p, point.naive_cost)
+                        for point in curves["paper"].points
+                    ],
+                },
+                title="Fig. 8 — defense cost vs attack level p",
+            )
+        )
+        print("\nFig. 6 regimes: " + ", ".join(
+            f"{band.ess_type.value if band.ess_type else '?'}"
+            f" m={band.m_min}..{band.m_max}"
+            for band in bands
+        ))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    params = _params(args)
+    stability = recommendation_stability(params, relative_error=args.error)
+    rows = [
+        (field, f"±{args.error:.0%}", low, baseline, high)
+        for field, (low, baseline, high) in stability.items()
+    ]
+    print(render_table(
+        ["constant", "perturbation", "min m*", "baseline m*", "max m*"],
+        rows,
+        title=f"sensitivity of m* at p={args.p}",
+    ))
+    return 0
+
+
+def _cmd_portrait(args: argparse.Namespace) -> int:
+    params = _params(args, m=args.m)
+    print(ascii_phase_portrait(params, grid=args.grid))
+    return 0
+
+
+def _cmd_boundaries(args: argparse.Namespace) -> int:
+    from repro.analysis.boundaries import regime_boundaries
+
+    bands = regime_boundaries(_params(args))
+
+    def fmt(value) -> str:
+        return "-" if value is None else f"{value:.2f}"
+
+    print(render_table(
+        ["hand-over", "at m ="],
+        [
+            ("(1,1)  -> (1,Y')", fmt(bands.corner_to_edge)),
+            ("(1,Y') -> (X,Y)", fmt(bands.edge_to_interior)),
+            ("(X,Y)  -> (X',1)", fmt(bands.interior_to_give_up)),
+        ],
+        title=f"analytic ESS regime boundaries at p={args.p}",
+    ))
+    samples = [1, 5, 10, 15, 20, 30, 40, 50, 60, 80, 100]
+    print("bands: " + ", ".join(f"m={m}:{bands.band_of(m)}" for m in samples))
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "optimize": _cmd_optimize,
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+    "sensitivity": _cmd_sensitivity,
+    "portrait": _cmd_portrait,
+    "boundaries": _cmd_boundaries,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Game-guided runtime defense (the paper's mechanism, §V-F + §VI-B-4).
+
+The paper's headline efficiency result is that nodes steering their
+buffer count by the evolutionary game ("requiring X of all nodes to
+play defense with parameter m optimized") beat naive always-max
+defense. This module packages that policy for live use inside the
+simulator and the examples:
+
+- :class:`AttackEstimator` maintains a running estimate of the forged
+  fraction ``p`` from what a DAP receiver can actually observe (how
+  many of its buffered records matched at reveal time);
+- :class:`AdaptiveDefense` re-runs Algorithm 3 on the current estimate
+  and exposes the recommended buffer count and the equilibrium
+  defense share ``X`` (used as a per-node defend probability, the
+  population interpretation of a mixed ESS).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType
+from repro.game.optimizer import BufferOptimizer, OptimizationRow
+from repro.game.parameters import GameParameters
+
+__all__ = ["AttackEstimator", "AdaptiveDefense"]
+
+
+class AttackEstimator:
+    """Exponentially weighted estimate of the forged-copy fraction ``p``.
+
+    A DAP receiver cannot see provenance, but at reveal time it knows
+    how many buffered records it held for the interval and how many
+    matched an authentic message. Since the reservoir keeps a uniform
+    sample of all copies, ``1 - matched/stored`` is an unbiased sample
+    of the forged fraction.
+
+    Args:
+        alpha: smoothing factor in (0, 1]; higher = more reactive.
+        initial: prior estimate before any observation.
+    """
+
+    def __init__(self, alpha: float = 0.2, initial: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= initial <= 1.0:
+            raise ConfigurationError(f"initial must be in [0, 1], got {initial}")
+        self._alpha = alpha
+        self._estimate = initial
+        self._observations = 0
+
+    @property
+    def estimate(self) -> float:
+        """Current estimate of ``p``."""
+        return self._estimate
+
+    @property
+    def observations(self) -> int:
+        """Number of samples folded in so far."""
+        return self._observations
+
+    def observe_fraction(self, forged_fraction: float) -> float:
+        """Fold in one direct sample of the forged fraction."""
+        if not 0.0 <= forged_fraction <= 1.0:
+            raise ConfigurationError(
+                f"forged_fraction must be in [0, 1], got {forged_fraction}"
+            )
+        self._estimate += self._alpha * (forged_fraction - self._estimate)
+        self._observations += 1
+        return self._estimate
+
+    def observe_interval(self, stored_records: int, matched_records: int) -> float:
+        """Fold in one interval's reveal outcome.
+
+        Args:
+            stored_records: records buffered for the interval (``<= m``).
+            matched_records: how many matched an authentic reveal.
+        """
+        if stored_records < 0 or matched_records < 0:
+            raise ConfigurationError("record counts must be >= 0")
+        if matched_records > stored_records:
+            raise ConfigurationError(
+                f"matched {matched_records} exceeds stored {stored_records}"
+            )
+        if stored_records == 0:
+            return self._estimate  # nothing observed this interval
+        return self.observe_fraction(1.0 - matched_records / stored_records)
+
+
+class AdaptiveDefense:
+    """Algorithm 3 re-run against a live ``p`` estimate.
+
+    Args:
+        base: the game's economic constants (``base.p`` and ``base.m``
+            are ignored — ``p`` comes from the estimator, ``m`` is what
+            we compute).
+        estimator: the attack-level estimator feeding the policy.
+        p_resolution: estimates are snapped to this grid before solving
+            so results cache well (re-optimising every packet would be
+            wasteful and jittery).
+    """
+
+    def __init__(
+        self,
+        base: GameParameters,
+        estimator: Optional[AttackEstimator] = None,
+        p_resolution: float = 0.01,
+    ) -> None:
+        if not 0.0 < p_resolution <= 0.5:
+            raise ConfigurationError(
+                f"p_resolution must be in (0, 0.5], got {p_resolution}"
+            )
+        self._base = base
+        self._estimator = estimator or AttackEstimator()
+        self._resolution = p_resolution
+        self._cache: Dict[float, OptimizationRow] = {}
+
+    @property
+    def estimator(self) -> AttackEstimator:
+        """The live attack-level estimator."""
+        return self._estimator
+
+    def _snapped_p(self) -> float:
+        grid = round(self._estimator.estimate / self._resolution) * self._resolution
+        return min(max(grid, 0.0), 1.0)
+
+    def _solve(self) -> OptimizationRow:
+        p = self._snapped_p()
+        row = self._cache.get(p)
+        if row is None:
+            optimizer = BufferOptimizer(self._base.with_p(p).with_m(1))
+            result = optimizer.optimize()
+            row = result.row_for(result.optimal_m)
+            self._cache[p] = row
+        return row
+
+    @property
+    def current_p(self) -> float:
+        """The (snapped) attack level the policy is currently solving."""
+        return self._snapped_p()
+
+    def recommended_buffers(self) -> int:
+        """Algorithm 3's optimal ``m`` at the current estimate."""
+        return self._solve().m
+
+    def defense_probability(self) -> float:
+        """Equilibrium defender share ``X`` — the fraction of nodes (or
+        the per-node probability) that should arm buffers."""
+        return self._solve().x
+
+    def equilibrium(self) -> OptimizationRow:
+        """The full solved row (m, X, Y, ESS label, cost)."""
+        return self._solve()
+
+    def expected_attacker_share(self) -> float:
+        """Equilibrium attacker share ``Y`` at the recommendation."""
+        return self._solve().y
+
+    def ess_label(self) -> Optional[EssType]:
+        """Which §V-E equilibrium the recommendation sits at."""
+        return self._solve().ess_type
+
+    def decide_defend(self, rng: Optional[random.Random] = None) -> bool:
+        """Sample a defend/no-defend decision from the mixed ESS."""
+        rand = rng or random
+        return rand.random() < self.defense_probability()

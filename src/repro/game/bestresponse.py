@@ -1,0 +1,142 @@
+"""Best-response dynamics — the classical-rationality strawman of §V-A.
+
+The paper argues for the *evolutionary* model because classical
+rationality is both unrealistic for sensor nodes and badly behaved:
+fully rational populations jump to the current best response, and in
+this game (a matching-pennies-like structure in the interior regime)
+that produces **cycling**, not convergence — while the replicator
+dynamics settle on a unique ESS. This module implements discrete
+best-response dynamics so the claim is demonstrable rather than
+rhetorical (see ``tests/game/test_bestresponse.py`` and the
+``bench_population.py`` quality bar for the evolutionary side).
+
+Update rule (smoothed): each step, a fraction ``adjustment`` of each
+population jumps to its current best pure response,
+
+.. math:: X' = (1-a)X + a\\,\\mathbb{1}[E(U_d) > E(U_{nd})]
+
+``adjustment = 1`` is the textbook simultaneous best response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import GameParameters
+from repro.game.payoff import expected_utilities
+
+__all__ = ["BestResponseTrajectory", "BestResponseDynamics"]
+
+
+@dataclass(frozen=True)
+class BestResponseTrajectory:
+    """Recorded best-response run."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    steps: int
+    converged: bool
+    cycle_length: Optional[int]
+
+    @property
+    def final(self) -> Tuple[float, float]:
+        """Last point."""
+        return (float(self.xs[-1]), float(self.ys[-1]))
+
+    @property
+    def cycles(self) -> bool:
+        """Whether the run entered a periodic orbit instead of settling."""
+        return self.cycle_length is not None
+
+
+class BestResponseDynamics:
+    """Discrete (smoothed) best-response dynamics for the game.
+
+    Args:
+        params: the game instance.
+        adjustment: fraction of each population that switches to the
+            best response each step (1.0 = classical simultaneous BR).
+        tie_tol: payoff differences within this are ties (keep playing
+            the current mix).
+    """
+
+    def __init__(
+        self,
+        params: GameParameters,
+        adjustment: float = 1.0,
+        tie_tol: float = 1e-12,
+    ) -> None:
+        if not 0.0 < adjustment <= 1.0:
+            raise ConfigurationError(
+                f"adjustment must be in (0, 1], got {adjustment}"
+            )
+        self._params = params
+        self._adjustment = adjustment
+        self._tie_tol = tie_tol
+
+    def best_responses(self, x: float, y: float) -> Tuple[Optional[int], Optional[int]]:
+        """Pure best responses at shares ``(x, y)``.
+
+        Returns (defender BR, attacker BR) with 1 = defend/attack,
+        0 = abstain, ``None`` = indifferent.
+        """
+        utilities = expected_utilities(self._params, x, y)
+        def_gap = utilities.defend - utilities.no_defend
+        atk_gap = utilities.attack - utilities.no_attack
+        defender = None if abs(def_gap) <= self._tie_tol else int(def_gap > 0)
+        attacker = None if abs(atk_gap) <= self._tie_tol else int(atk_gap > 0)
+        return (defender, attacker)
+
+    def step(self, x: float, y: float) -> Tuple[float, float]:
+        """One smoothed best-response update."""
+        defender, attacker = self.best_responses(x, y)
+        a = self._adjustment
+        nx = x if defender is None else (1.0 - a) * x + a * defender
+        ny = y if attacker is None else (1.0 - a) * y + a * attacker
+        return (nx, ny)
+
+    def run(
+        self,
+        x0: float = 0.5,
+        y0: float = 0.5,
+        max_steps: int = 1000,
+        settle_tol: float = 1e-9,
+    ) -> BestResponseTrajectory:
+        """Iterate until a fixed point, a detected cycle, or the budget.
+
+        Cycle detection is exact-state recurrence (the dynamics are
+        deterministic, so revisiting a state proves periodicity).
+        """
+        if max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
+        x, y = float(x0), float(y0)
+        xs: List[float] = [x]
+        ys: List[float] = [y]
+        seen = {(round(x, 12), round(y, 12)): 0}
+        converged = False
+        cycle_length: Optional[int] = None
+        for step_index in range(1, max_steps + 1):
+            nx, ny = self.step(x, y)
+            xs.append(nx)
+            ys.append(ny)
+            if abs(nx - x) < settle_tol and abs(ny - y) < settle_tol:
+                converged = True
+                x, y = nx, ny
+                break
+            x, y = nx, ny
+            key = (round(x, 12), round(y, 12))
+            if key in seen:
+                cycle_length = step_index - seen[key]
+                break
+            seen[key] = step_index
+        return BestResponseTrajectory(
+            xs=np.asarray(xs),
+            ys=np.asarray(ys),
+            steps=len(xs) - 1,
+            converged=converged,
+            cycle_length=cycle_length,
+        )

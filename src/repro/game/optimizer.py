@@ -1,0 +1,224 @@
+"""Buffer-count optimisation (paper §V-F, Algorithm 3) and cost models.
+
+The defender population's average cost at an equilibrium ``(X, Y)`` is
+
+.. math::
+
+    E(m) = k_2 m X^2 + [1 - (1 - p^m) X] \\, R_a Y
+
+(§V-F: ``E = -E(d)`` evaluated at the ESS). Algorithm 3 sweeps ``m``
+and returns the cheapest choice. The published pseudocode updates
+``moptm`` whenever ``Em < Em-1`` — a *last descent step*, not an
+argmin; :class:`BufferOptimizer` implements a true argmin by default
+and keeps the paper's literal loop behind ``selection="paper"`` so the
+difference can be measured.
+
+The naive baseline (§VI-B-4) arms every node with the maximum buffer
+count ``M``:
+
+.. math::
+
+    N = k_2 M + p^M R_a Y'
+
+with ``(1, Y')`` the ESS of the ``m = M`` game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType, FixedPoint, realized_ess, stable_points
+from repro.game.parameters import GameParameters
+
+__all__ = [
+    "defense_cost",
+    "naive_defense_cost",
+    "EquilibriumSolver",
+    "OptimizationRow",
+    "OptimizationResult",
+    "BufferOptimizer",
+]
+
+
+def defense_cost(params: GameParameters, x: float, y: float) -> float:
+    """``E = k2·m·X² + [1 - (1 - p^m)·X]·Ra·Y`` at shares ``(x, y)``."""
+    q = 1.0 - params.attack_success_probability
+    return params.k2 * params.m * x * x + (1.0 - q * x) * params.ra * y
+
+
+def naive_defense_cost(params: GameParameters) -> float:
+    """§VI-B-4's ``N``: every node defends with ``m = M`` buffers.
+
+    ``N = k2·M + p^M·Ra·Y'`` where ``Y'`` is the attacker share at the
+    ``(1, Y')`` ESS of the maxed-out game (clamped to 1 when the
+    formula exceeds the simplex, i.e. the ESS is ``(1, 1)``).
+    """
+    big_m = params.max_buffers
+    maxed = params.with_m(big_m)
+    p_big_m = maxed.attack_success_probability
+    if params.xa > 0:
+        y_prime = min(p_big_m * params.ra / (params.k1 * params.xa), 1.0)
+    else:
+        y_prime = 0.0
+    return params.k2 * big_m + p_big_m * params.ra * y_prime
+
+
+class EquilibriumSolver:
+    """Finds the equilibrium the population actually reaches.
+
+    The analytic route (classify every §V-E candidate, take the unique
+    stable one) is exact and fast; when zero or several candidates are
+    stable the solver falls back to integrating the paper's dynamics
+    from ``(0.5, 0.5)`` and reports where they settle.
+    """
+
+    def __init__(
+        self,
+        x0: float = 0.5,
+        y0: float = 0.5,
+        dt: float = 0.01,
+        max_steps: int = 100_000,
+    ) -> None:
+        self._x0 = x0
+        self._y0 = y0
+        self._dt = dt
+        self._max_steps = max_steps
+
+    def solve(self, params: GameParameters) -> Tuple[float, float, Optional[EssType]]:
+        """Equilibrium shares and the paper's label for them."""
+        stable = stable_points(params)
+        if len(stable) == 1:
+            point = stable[0]
+            return (point.x, point.y, point.ess_type)
+        return self._solve_by_dynamics(params, stable)
+
+    def _solve_by_dynamics(
+        self, params: GameParameters, stable: List[FixedPoint]
+    ) -> Tuple[float, float, Optional[EssType]]:
+        matched, trajectory = realized_ess(
+            params,
+            x0=self._x0,
+            y0=self._y0,
+            dt=self._dt,
+            max_steps=self._max_steps,
+        )
+        if matched is not None:
+            return (matched.x, matched.y, matched.ess_type)
+        fx, fy = trajectory.final
+        # No candidate nearby: settle for the trajectory endpoint, label
+        # with the nearest stable candidate if any exists.
+        label = stable[0].ess_type if stable else None
+        return (fx, fy, label)
+
+
+@dataclass(frozen=True)
+class OptimizationRow:
+    """One row of the ``m`` sweep."""
+
+    m: int
+    x: float
+    y: float
+    ess_type: Optional[EssType]
+    cost: float
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a buffer-count optimisation.
+
+    Attributes:
+        optimal_m: the selected buffer count.
+        optimal_cost: its expected defender cost.
+        rows: the full sweep, ascending in ``m``.
+        selection: ``"argmin"`` or ``"paper"``.
+    """
+
+    optimal_m: int
+    optimal_cost: float
+    rows: Tuple[OptimizationRow, ...]
+    selection: str
+
+    def row_for(self, m: int) -> OptimizationRow:
+        """The sweep row for a specific ``m``."""
+        for row in self.rows:
+            if row.m == m:
+                return row
+        raise ConfigurationError(f"m={m} was not part of the sweep")
+
+
+class BufferOptimizer:
+    """Algorithm 3: pick the buffer count minimising expected cost.
+
+    Args:
+        base: game parameters; ``base.m`` is ignored (swept).
+        solver: equilibrium solver (defaults to the paper's setting).
+    """
+
+    def __init__(
+        self, base: GameParameters, solver: Optional[EquilibriumSolver] = None
+    ) -> None:
+        self._base = base
+        self._solver = solver or EquilibriumSolver()
+        self._cache: Dict[int, OptimizationRow] = {}
+
+    @property
+    def base(self) -> GameParameters:
+        """The swept game's fixed parameters."""
+        return self._base
+
+    def evaluate(self, m: int) -> OptimizationRow:
+        """Equilibrium and defender cost for a specific ``m`` (cached)."""
+        row = self._cache.get(m)
+        if row is None:
+            params = self._base.with_m(m)
+            x, y, label = self._solver.solve(params)
+            row = OptimizationRow(
+                m=m, x=x, y=y, ess_type=label, cost=defense_cost(params, x, y)
+            )
+            self._cache[m] = row
+        return row
+
+    def optimize(
+        self,
+        m_min: int = 1,
+        m_max: Optional[int] = None,
+        selection: str = "argmin",
+    ) -> OptimizationResult:
+        """Sweep ``m`` and select the optimum.
+
+        Args:
+            m_min / m_max: sweep bounds (default 1..``max_buffers``).
+            selection: ``"argmin"`` (correct) or ``"paper"`` (the
+                published running-min loop, kept for fidelity: it sets
+                ``moptm`` to the *last* ``m`` whose cost improved on its
+                predecessor).
+        """
+        if m_max is None:
+            m_max = self._base.max_buffers
+        if m_min < 1 or m_max < m_min:
+            raise ConfigurationError(f"bad sweep bounds [{m_min}, {m_max}]")
+        if selection not in ("argmin", "paper"):
+            raise ConfigurationError(f"unknown selection {selection!r}")
+        rows = [self.evaluate(m) for m in range(m_min, m_max + 1)]
+        if selection == "argmin":
+            best = min(rows, key=lambda row: row.cost)
+            optimal_m = best.m
+        else:
+            # Algorithm 3 lines 6-8, literally.
+            optimal_m = 0
+            previous = float("inf")
+            for row in rows:
+                if row.cost < previous:
+                    optimal_m = row.m
+                previous = row.cost
+            if optimal_m == 0:
+                optimal_m = rows[0].m
+        best_row = next(row for row in rows if row.m == optimal_m)
+        return OptimizationResult(
+            optimal_m=optimal_m,
+            optimal_cost=best_row.cost,
+            rows=tuple(rows),
+            selection=selection,
+        )

@@ -1,0 +1,132 @@
+"""Parameters of the attack-defense evolutionary game (paper Table I).
+
+The game prices a DoS flooding attack against DAP's ``m``-buffer
+defence:
+
+====  =========================================================
+m     buffers defenders dedicate to random-selection storage
+xa    fraction of channel bandwidth the attacker uses (= ``p``)
+p     fraction of forged copies among received copies
+P     attack success probability, ``P = p^m`` (§V-C: the chance
+      *no* authentic copy survives the reservoir)
+Ld    defender's damage under a successful attack
+Ra    attacker's reward (``Ra = Ld`` — both priced off the data)
+Ca    attacker's cost, ``k1 · xa · Y``
+Cd    defender's cost, ``k2 · m · X``
+====  =========================================================
+
+``X`` is the fraction of defenders playing *buffer-selection* and ``Y``
+the fraction of attackers playing *DoS*; costs scale with the opposing
+population shares exactly as §V-C specifies (``Ca`` grows with how many
+attackers flood, ``Cd`` with how many defenders arm buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GameParameters",
+    "paper_parameters",
+    "PAPER_RA",
+    "PAPER_K1",
+    "PAPER_K2",
+    "PAPER_MAX_BUFFERS",
+]
+
+#: Evaluation constants from §VI-B-1.
+PAPER_RA = 200.0
+PAPER_K1 = 20.0
+PAPER_K2 = 4.0
+#: "in sensor network, there are at most about 50 buffers for each node".
+PAPER_MAX_BUFFERS = 50
+
+
+@dataclass(frozen=True)
+class GameParameters:
+    """One instance of the evolutionary game.
+
+    Attributes:
+        ra: attacker reward ``Ra`` (= defender damage ``Ld``).
+        k1: attacker cost coefficient (``Ca = k1 · p · Y``).
+        k2: defender cost coefficient (``Cd = k2 · m · X``).
+        p: attacker bandwidth fraction ``xa`` = forged-copy fraction.
+        m: number of defender buffers.
+        max_buffers: hardware cap ``M`` on ``m`` (§VI-B-1: about 50).
+    """
+
+    ra: float
+    k1: float
+    k2: float
+    p: float
+    m: int
+    max_buffers: int = PAPER_MAX_BUFFERS
+
+    def __post_init__(self) -> None:
+        if self.ra <= 0:
+            raise ConfigurationError(f"ra must be positive, got {self.ra}")
+        if self.k1 <= 0:
+            raise ConfigurationError(f"k1 must be positive, got {self.k1}")
+        if self.k2 <= 0:
+            raise ConfigurationError(f"k2 must be positive, got {self.k2}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {self.p}")
+        if self.m < 1:
+            raise ConfigurationError(f"m must be >= 1, got {self.m}")
+        if self.max_buffers < 1:
+            raise ConfigurationError(
+                f"max_buffers must be >= 1, got {self.max_buffers}"
+            )
+    @property
+    def satisfies_paper_assumptions(self) -> bool:
+        """§V-E assumes ``Ra > Ca`` for every ``Y`` (i.e. ``Ra > k1·xa``),
+        which rules (0, 0) out as an ESS. Settings that violate it are
+        legal but outside the paper's analysis."""
+        return self.ra > self.k1 * self.p
+
+    @property
+    def xa(self) -> float:
+        """Attacker bandwidth fraction (alias; the paper sets ``p = xa``)."""
+        return self.p
+
+    @property
+    def ld(self) -> float:
+        """Defender damage ``Ld`` (= ``Ra`` by assumption)."""
+        return self.ra
+
+    @property
+    def attack_success_probability(self) -> float:
+        """``P = p^m`` — probability no authentic copy survives."""
+        return self.p ** self.m
+
+    @property
+    def defense_success_probability(self) -> float:
+        """``1 - p^m`` — probability at least one authentic copy survives."""
+        return 1.0 - self.attack_success_probability
+
+    def attacker_cost(self, y: float) -> float:
+        """``Ca = k1 · xa · Y``."""
+        return self.k1 * self.p * y
+
+    def defender_cost(self, x: float) -> float:
+        """``Cd = k2 · m · X``."""
+        return self.k2 * self.m * x
+
+    def with_m(self, m: int) -> "GameParameters":
+        """Copy with a different buffer count (optimizer sweeps)."""
+        return replace(self, m=m)
+
+    def with_p(self, p: float) -> "GameParameters":
+        """Copy with a different attack level (figure sweeps)."""
+        return replace(self, p=p)
+
+
+def paper_parameters(
+    p: float, m: int, max_buffers: int = PAPER_MAX_BUFFERS
+) -> GameParameters:
+    """The §VI-B evaluation setting: ``Ra=200, k1=20, k2=4``."""
+    return GameParameters(
+        ra=PAPER_RA, k1=PAPER_K1, k2=PAPER_K2, p=p, m=m, max_buffers=max_buffers
+    )

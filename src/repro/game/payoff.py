@@ -1,0 +1,130 @@
+"""Payoff matrix and expected utilities (paper Table II and §V-D).
+
+The 2x2 bimatrix game between populations of defenders (strategies
+*buffer-selection* / *no-buffers*) and attackers (*DoS* / *no-attack*):
+
+=================  =======================  ==============
+Defender\\Attacker  DoS attacks              no DoS attacks
+=================  =======================  ==============
+buffer selection   (-Cd - P·Ld, P·Ra - Ca)  (-Cd, 0)
+no buffers         (-Ld, Ra - Ca)           (0, 0)
+=================  =======================  ==============
+
+with ``P = p^m``, ``Ld = Ra``, ``Ca = k1·xa·Y`` and ``Cd = k2·m·X``
+(costs depend on the population shares, which makes the replicator
+dynamics nonstandard but matches §V-C exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import GameParameters
+
+__all__ = ["PayoffCell", "PayoffMatrix", "ExpectedUtilities", "expected_utilities"]
+
+
+def _check_share(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class PayoffCell:
+    """One cell of the bimatrix: (defender payoff, attacker payoff)."""
+
+    defender: float
+    attacker: float
+
+
+@dataclass(frozen=True)
+class PayoffMatrix:
+    """Table II evaluated at population shares ``(X, Y)``.
+
+    Because ``Ca`` and ``Cd`` scale with the shares, the matrix is a
+    *function* of the population state — construct it through
+    :meth:`at`.
+    """
+
+    buffer_dos: PayoffCell
+    buffer_quiet: PayoffCell
+    plain_dos: PayoffCell
+    plain_quiet: PayoffCell
+
+    @classmethod
+    def at(cls, params: GameParameters, x: float, y: float) -> "PayoffMatrix":
+        """Evaluate Table II at shares ``(X, Y) = (x, y)``."""
+        _check_share("x", x)
+        _check_share("y", y)
+        big_p = params.attack_success_probability
+        ca = params.attacker_cost(y)
+        cd = params.defender_cost(x)
+        ld = params.ld
+        ra = params.ra
+        return cls(
+            buffer_dos=PayoffCell(-cd - big_p * ld, big_p * ra - ca),
+            buffer_quiet=PayoffCell(-cd, 0.0),
+            plain_dos=PayoffCell(-ld, ra - ca),
+            plain_quiet=PayoffCell(0.0, 0.0),
+        )
+
+    def as_rows(self) -> Tuple[Tuple[PayoffCell, PayoffCell], ...]:
+        """Matrix rows in the paper's layout (defender strategy per row)."""
+        return (
+            (self.buffer_dos, self.buffer_quiet),
+            (self.plain_dos, self.plain_quiet),
+        )
+
+
+@dataclass(frozen=True)
+class ExpectedUtilities:
+    """The six expectations of §V-D.
+
+    Attributes:
+        defend: ``E(Ud)`` — defender playing buffer-selection.
+        no_defend: ``E(Und)`` — defender playing no-buffers.
+        attack: ``E(Ua)`` — attacker playing DoS.
+        no_attack: ``E(Una)`` — attacker staying quiet (always 0).
+        defender_mean: ``E(d)`` — population-average defender payoff.
+        attacker_mean: ``E(a)`` — population-average attacker payoff.
+    """
+
+    defend: float
+    no_defend: float
+    attack: float
+    no_attack: float
+    defender_mean: float
+    attacker_mean: float
+
+
+def expected_utilities(params: GameParameters, x: float, y: float) -> ExpectedUtilities:
+    """Evaluate the §V-D expectations at shares ``(x, y)``.
+
+    These are the quantities the replicator dynamics are built from;
+    :mod:`repro.game.replicator` cross-checks its closed forms against
+    them in the test suite.
+    """
+    _check_share("x", x)
+    _check_share("y", y)
+    big_p = params.attack_success_probability
+    ca = params.attacker_cost(y)
+    cd = params.defender_cost(x)
+    ld = params.ld
+    ra = params.ra
+    e_ud = y * (-cd - big_p * ld) + (1.0 - y) * (-cd)
+    e_und = y * (-ld)
+    e_ua = x * (big_p * ra - ca) + (1.0 - x) * (ra - ca)
+    e_una = 0.0
+    e_d = x * e_ud + (1.0 - x) * e_und
+    e_a = y * e_ua + (1.0 - y) * e_una
+    return ExpectedUtilities(
+        defend=e_ud,
+        no_defend=e_und,
+        attack=e_ua,
+        no_attack=e_una,
+        defender_mean=e_d,
+        attacker_mean=e_a,
+    )

@@ -1,0 +1,236 @@
+"""Agent-based population dynamics — the §V-A story, made concrete.
+
+The paper justifies the evolutionary model by *bounded rationality*:
+sensor nodes "formulate strategy during the evolution by observing
+other nodes' behavior" rather than solving the game. The replicator
+ODE of §V-D is the mean-field limit of exactly that process: **pairwise
+proportional imitation** — an agent samples a peer and copies its
+strategy with probability proportional to the payoff advantage.
+
+This module implements the finite-population process itself, so the
+reproduction can *check* the paper's modelling step: for large
+populations the agent-based shares track the ODE trajectory and settle
+near the same ESS (see ``tests/game/test_population.py`` and
+``benchmarks/bench_population.py``). A small mutation rate keeps the
+finite populations from absorbing on pure-strategy boundaries, playing
+the role of the paper's behavioural noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import GameParameters
+from repro.game.payoff import expected_utilities
+
+__all__ = ["PopulationState", "PopulationTrajectory", "PopulationGame"]
+
+
+@dataclass(frozen=True)
+class PopulationState:
+    """A snapshot of both populations.
+
+    Attributes:
+        defenders_armed: defenders currently playing buffer-selection.
+        defenders_total: defender population size.
+        attackers_active: attackers currently flooding.
+        attackers_total: attacker population size.
+    """
+
+    defenders_armed: int
+    defenders_total: int
+    attackers_active: int
+    attackers_total: int
+
+    @property
+    def x(self) -> float:
+        """Defender share ``X``."""
+        return self.defenders_armed / self.defenders_total
+
+    @property
+    def y(self) -> float:
+        """Attacker share ``Y``."""
+        return self.attackers_active / self.attackers_total
+
+
+@dataclass(frozen=True)
+class PopulationTrajectory:
+    """Recorded share history of an agent-based run."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    rounds: int
+
+    @property
+    def final(self) -> Tuple[float, float]:
+        """Last recorded shares."""
+        return (float(self.xs[-1]), float(self.ys[-1]))
+
+    def tail_mean(self, fraction: float = 0.25) -> Tuple[float, float]:
+        """Mean shares over the trailing ``fraction`` of the run.
+
+        Finite populations fluctuate around interior equilibria; the
+        tail mean is the right point estimate to compare with the ODE.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        start = max(int(len(self.xs) * (1.0 - fraction)), 0)
+        return (float(self.xs[start:].mean()), float(self.ys[start:].mean()))
+
+
+class PopulationGame:
+    """Finite populations under pairwise proportional imitation.
+
+    Args:
+        params: the game instance.
+        defenders / attackers: population sizes.
+        x0 / y0: initial shares (agents assigned deterministically:
+            ``round(share * size)`` play the first strategy).
+        imitation_rate: scales the switch probability (the mean-field
+            time step; smaller = closer to the ODE, slower).
+        mutation_rate: per-agent per-round probability of re-randomising
+            the strategy — behavioural noise that keeps boundaries from
+            absorbing the finite population.
+        rng: seeded RNG.
+    """
+
+    def __init__(
+        self,
+        params: GameParameters,
+        defenders: int = 200,
+        attackers: int = 200,
+        x0: float = 0.5,
+        y0: float = 0.5,
+        imitation_rate: float = 0.1,
+        mutation_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if defenders < 2 or attackers < 2:
+            raise ConfigurationError("both populations need at least 2 agents")
+        if not 0.0 <= x0 <= 1.0 or not 0.0 <= y0 <= 1.0:
+            raise ConfigurationError("initial shares must be in [0, 1]")
+        if not 0.0 < imitation_rate <= 1.0:
+            raise ConfigurationError(
+                f"imitation_rate must be in (0, 1], got {imitation_rate}"
+            )
+        if not 0.0 <= mutation_rate < 0.5:
+            raise ConfigurationError(
+                f"mutation_rate must be in [0, 0.5), got {mutation_rate}"
+            )
+        self._params = params
+        self._rng = rng or random.Random()
+        self._imitation = imitation_rate
+        self._mutation = mutation_rate
+        self._defenders_total = defenders
+        self._attackers_total = attackers
+        self._armed = round(x0 * defenders)
+        self._active = round(y0 * attackers)
+        # Payoff differences are bounded by the matrix range; normalise
+        # switch probabilities by it so they stay in [0, 1].
+        self._payoff_scale = 2.0 * params.ra + params.k1 + params.k2 * params.m
+
+    @property
+    def state(self) -> PopulationState:
+        """Current population snapshot."""
+        return PopulationState(
+            defenders_armed=self._armed,
+            defenders_total=self._defenders_total,
+            attackers_active=self._active,
+            attackers_total=self._attackers_total,
+        )
+
+    def _switch_probability(self, advantage: float) -> float:
+        """Pairwise proportional imitation rule."""
+        if advantage <= 0.0:
+            return 0.0
+        return min(self._imitation * advantage / self._payoff_scale, 1.0)
+
+    def step(self) -> PopulationState:
+        """One imitation round for both populations.
+
+        Each population performs ``size`` pairwise imitation events
+        against the *current* shares (agents observe the world, then
+        everyone updates — a synchronous sweep, which is what converges
+        to the replicator ODE as populations grow).
+        """
+        x = self._armed / self._defenders_total
+        y = self._active / self._attackers_total
+        utilities = expected_utilities(self._params, x, y)
+
+        # Defenders: 'armed' earns E(Ud), 'plain' earns E(Und).
+        self._armed += self._population_sweep(
+            adopters=self._defenders_total - self._armed,
+            abandoners=self._armed,
+            share_adopted=x,
+            advantage=utilities.defend - utilities.no_defend,
+        )
+        # Attackers: 'active' earns E(Ua), 'quiet' earns E(Una) = 0.
+        self._active += self._population_sweep(
+            adopters=self._attackers_total - self._active,
+            abandoners=self._active,
+            share_adopted=y,
+            advantage=utilities.attack - utilities.no_attack,
+        )
+        if self._mutation > 0.0:
+            self._apply_mutation()
+        return self.state
+
+    def _population_sweep(
+        self, adopters: int, abandoners: int, share_adopted: float, advantage: float
+    ) -> int:
+        """Net flow toward the first strategy in one sweep.
+
+        Agents playing the *worse* strategy who sample a peer playing
+        the better one switch with the proportional-imitation
+        probability; flows in both directions are sampled binomially.
+        """
+        rng = self._rng
+        gained = 0
+        if advantage > 0.0:
+            prob = self._switch_probability(advantage) * share_adopted
+            for _ in range(adopters):
+                if rng.random() < prob:
+                    gained += 1
+        elif advantage < 0.0:
+            prob = self._switch_probability(-advantage) * (1.0 - share_adopted)
+            for _ in range(abandoners):
+                if rng.random() < prob:
+                    gained -= 1
+        return gained
+
+    def _apply_mutation(self) -> None:
+        rng = self._rng
+        for population, size, attr in (
+            ("defenders", self._defenders_total, "_armed"),
+            ("attackers", self._attackers_total, "_active"),
+        ):
+            count = getattr(self, attr)
+            flips_to = sum(
+                1 for _ in range(size - count) if rng.random() < self._mutation
+            )
+            flips_from = sum(1 for _ in range(count) if rng.random() < self._mutation)
+            setattr(self, attr, count + flips_to - flips_from)
+
+    def run(self, rounds: int, record_every: int = 1) -> PopulationTrajectory:
+        """Run ``rounds`` sweeps and record the share history."""
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        if record_every < 1:
+            raise ConfigurationError(
+                f"record_every must be >= 1, got {record_every}"
+            )
+        xs: List[float] = [self.state.x]
+        ys: List[float] = [self.state.y]
+        for i in range(1, rounds + 1):
+            state = self.step()
+            if i % record_every == 0:
+                xs.append(state.x)
+                ys.append(state.y)
+        return PopulationTrajectory(
+            xs=np.asarray(xs), ys=np.asarray(ys), rounds=rounds
+        )

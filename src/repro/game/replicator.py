@@ -1,0 +1,234 @@
+"""Replicator dynamics of the attack-defense game (paper §V-D).
+
+The population shares evolve by
+
+.. math::
+
+    dX/dt = X (1-X) [ R_a Y (1 - p^m) - k_2 m X ]
+
+    dY/dt = Y (1-Y) [ (p^m - 1) X R_a + R_a - k_1 x_a Y ]
+
+which are the standard replicator equations
+``dX/dt = X [E(Ud) - E(d)]``, ``dY/dt = Y [E(Ua) - E(a)]`` with the
+§V-C cost specifications substituted in (the test suite verifies the
+closed forms against :func:`repro.game.payoff.expected_utilities`).
+
+Integration follows the paper's §VI-B-2 update — explicit Euler with
+``t = 0.01`` and shares clipped to ``(0, 1]`` — plus an RK4 alternative
+for the ablation that shows the reached ESS does not depend on the
+integrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.game.parameters import GameParameters
+from repro.game.payoff import expected_utilities
+
+__all__ = [
+    "PAPER_TIME_STEP",
+    "PAPER_INITIAL_SHARES",
+    "Trajectory",
+    "ReplicatorDynamics",
+]
+
+#: §VI-B-2: "where t = 0.01".
+PAPER_TIME_STEP = 0.01
+#: §VI-B-2: "(X, Y) = (0.5, 0.5) as the origin setting".
+PAPER_INITIAL_SHARES = (0.5, 0.5)
+
+#: Lower clip bound: the paper keeps 0 < X <= 1 so boundary fixed points
+#: never freeze the dynamics from the inside.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A recorded evolution of the population shares.
+
+    Attributes:
+        xs, ys: share sequences including the initial point.
+        converged: whether the derivative norm fell below tolerance.
+        steps: integration steps actually taken.
+        dt: step size used.
+        method: ``"euler"`` or ``"rk4"``.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    converged: bool
+    steps: int
+    dt: float
+    method: str
+
+    @property
+    def final(self) -> Tuple[float, float]:
+        """The last recorded point ``(X, Y)``."""
+        return (float(self.xs[-1]), float(self.ys[-1]))
+
+    @property
+    def initial(self) -> Tuple[float, float]:
+        """The initial point ``(X0, Y0)``."""
+        return (float(self.xs[0]), float(self.ys[0]))
+
+    def settles_within(self, x: float, y: float, tol: float = 1e-3) -> bool:
+        """Whether the trajectory ends within ``tol`` of ``(x, y)``."""
+        fx, fy = self.final
+        return abs(fx - x) <= tol and abs(fy - y) <= tol
+
+
+class ReplicatorDynamics:
+    """The game's replicator vector field plus integrators.
+
+    Args:
+        params: the game instance (fixed ``p`` and ``m``).
+    """
+
+    def __init__(self, params: GameParameters) -> None:
+        self._params = params
+
+    @property
+    def params(self) -> GameParameters:
+        """The game instance."""
+        return self._params
+
+    # ------------------------------------------------------------------
+    # vector field
+
+    def derivatives(self, x: float, y: float) -> Tuple[float, float]:
+        """Closed-form ``(dX/dt, dY/dt)`` from §V-D."""
+        p = self._params
+        q = 1.0 - p.attack_success_probability  # 1 - p^m
+        dx = x * (1.0 - x) * (p.ra * y * q - p.k2 * p.m * x)
+        dy = y * (1.0 - y) * (-q * x * p.ra + p.ra - p.k1 * p.xa * y)
+        return (dx, dy)
+
+    def derivatives_from_utilities(self, x: float, y: float) -> Tuple[float, float]:
+        """``(dX/dt, dY/dt)`` computed from the §V-D expectations.
+
+        Mathematically identical to :meth:`derivatives`; kept as an
+        independent implementation so tests can cross-check the algebra.
+        """
+        u = expected_utilities(self._params, x, y)
+        return (x * (u.defend - u.defender_mean), y * (u.attack - u.attacker_mean))
+
+    def jacobian(self, x: float, y: float) -> np.ndarray:
+        """Analytic Jacobian of the vector field at ``(x, y)``.
+
+        Used by :mod:`repro.game.ess` to classify fixed points: a fixed
+        point is asymptotically stable (an ESS of the dynamics) when
+        every eigenvalue has negative real part.
+        """
+        p = self._params
+        q = 1.0 - p.attack_success_probability
+        bracket_x = p.ra * y * q - p.k2 * p.m * x
+        bracket_y = p.ra - q * x * p.ra - p.k1 * p.xa * y
+        dfdx = (1.0 - 2.0 * x) * bracket_x + x * (1.0 - x) * (-p.k2 * p.m)
+        dfdy = x * (1.0 - x) * p.ra * q
+        dgdx = y * (1.0 - y) * (-p.ra * q)
+        dgdy = (1.0 - 2.0 * y) * bracket_y + y * (1.0 - y) * (-p.k1 * p.xa)
+        return np.array([[dfdx, dfdy], [dgdx, dgdy]], dtype=float)
+
+    # ------------------------------------------------------------------
+    # integration
+
+    @staticmethod
+    def _clip(value: float) -> float:
+        """Keep a share in ``(0, 1]`` as the paper's update does."""
+        return min(max(value, _EPS), 1.0)
+
+    def step_euler(self, x: float, y: float, dt: float) -> Tuple[float, float]:
+        """One explicit-Euler step (the paper's §VI-B-2 update rule)."""
+        dx, dy = self.derivatives(x, y)
+        return (self._clip(x + dx * dt), self._clip(y + dy * dt))
+
+    def step_rk4(self, x: float, y: float, dt: float) -> Tuple[float, float]:
+        """One classical Runge-Kutta step (integrator ablation)."""
+        k1x, k1y = self.derivatives(x, y)
+        k2x, k2y = self.derivatives(
+            self._clip(x + 0.5 * dt * k1x), self._clip(y + 0.5 * dt * k1y)
+        )
+        k3x, k3y = self.derivatives(
+            self._clip(x + 0.5 * dt * k2x), self._clip(y + 0.5 * dt * k2y)
+        )
+        k4x, k4y = self.derivatives(
+            self._clip(x + dt * k3x), self._clip(y + dt * k3y)
+        )
+        nx = x + dt * (k1x + 2.0 * k2x + 2.0 * k3x + k4x) / 6.0
+        ny = y + dt * (k1y + 2.0 * k2y + 2.0 * k3y + k4y) / 6.0
+        return (self._clip(nx), self._clip(ny))
+
+    def integrate(
+        self,
+        x0: float = PAPER_INITIAL_SHARES[0],
+        y0: float = PAPER_INITIAL_SHARES[1],
+        dt: float = PAPER_TIME_STEP,
+        max_steps: int = 200_000,
+        tol: float = 1e-10,
+        method: str = "euler",
+        record_every: int = 1,
+        raise_on_divergence: bool = False,
+    ) -> Trajectory:
+        """Integrate from ``(x0, y0)`` until the field vanishes.
+
+        Args:
+            dt: step size (paper: 0.01).
+            max_steps: step budget.
+            tol: convergence threshold on ``|dX| + |dY|`` (per unit
+                time, i.e. on the derivative norm).
+            method: ``"euler"`` (paper) or ``"rk4"``.
+            record_every: trajectory subsampling stride (1 = keep all).
+            raise_on_divergence: raise :class:`ConvergenceError` instead
+                of returning an unconverged trajectory.
+
+        Returns:
+            the recorded :class:`Trajectory`.
+        """
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {max_steps}")
+        if method not in ("euler", "rk4"):
+            raise ConfigurationError(f"unknown method {method!r}")
+        if record_every < 1:
+            raise ConfigurationError(
+                f"record_every must be >= 1, got {record_every}"
+            )
+        step = self.step_euler if method == "euler" else self.step_rk4
+        x = self._clip(float(x0))
+        y = self._clip(float(y0))
+        xs: List[float] = [x]
+        ys: List[float] = [y]
+        converged = False
+        steps_taken = 0
+        for i in range(1, max_steps + 1):
+            x, y = step(x, y, dt)
+            steps_taken = i
+            if i % record_every == 0:
+                xs.append(x)
+                ys.append(y)
+            dx, dy = self.derivatives(x, y)
+            if abs(dx) + abs(dy) < tol:
+                converged = True
+                break
+        if xs[-1] != x or ys[-1] != y:
+            xs.append(x)
+            ys.append(y)
+        if not converged and raise_on_divergence:
+            raise ConvergenceError(
+                f"replicator dynamics did not converge in {max_steps} steps"
+                f" (p={self._params.p}, m={self._params.m})"
+            )
+        return Trajectory(
+            xs=np.asarray(xs),
+            ys=np.asarray(ys),
+            converged=converged,
+            steps=steps_taken,
+            dt=dt,
+            method=method,
+        )

@@ -1,0 +1,118 @@
+"""Sensitivity of the game's recommendations to its economic constants.
+
+The paper fixes ``Ra = 200, k1 = 20, k2 = 4`` with a paragraph of
+justification (§VI-B-1: rewards exceed attack costs; maxing out defense
+costs slightly more than the data is worth). A deployment will not know
+these constants exactly, so the natural question — explicitly the kind
+of robustness the paper leaves open — is how much the *decisions*
+(optimal ``m``, realized equilibrium, cost advantage over naive) move
+when the constants do. This module quantifies that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType
+from repro.game.optimizer import BufferOptimizer, naive_defense_cost
+from repro.game.parameters import GameParameters
+
+__all__ = ["SensitivityPoint", "sensitivity_sweep", "recommendation_stability"]
+
+_ECONOMIC_FIELDS = ("ra", "k1", "k2")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """The game's decisions at one perturbed constant."""
+
+    field: str
+    value: float
+    optimal_m: int
+    ess_type: Optional[EssType]
+    game_cost: float
+    naive_cost: float
+
+    @property
+    def advantage(self) -> float:
+        """Cost advantage of the game-guided defense (``N - E``)."""
+        return self.naive_cost - self.game_cost
+
+
+def sensitivity_sweep(
+    base: GameParameters,
+    field: str,
+    values: Sequence[float],
+    selection: str = "argmin",
+) -> List[SensitivityPoint]:
+    """Re-solve the game across perturbed values of one constant.
+
+    Args:
+        base: the reference parameters (``base.m`` is re-optimised at
+            each point).
+        field: one of ``ra``, ``k1``, ``k2``.
+        values: constant values to evaluate.
+        selection: Algorithm 3 mode.
+    """
+    if field not in _ECONOMIC_FIELDS:
+        raise ConfigurationError(
+            f"field must be one of {_ECONOMIC_FIELDS}, got {field!r}"
+        )
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    points: List[SensitivityPoint] = []
+    for value in values:
+        params = dataclasses.replace(base, **{field: float(value)})
+        result = BufferOptimizer(params.with_m(1)).optimize(selection=selection)
+        row = result.row_for(result.optimal_m)
+        points.append(
+            SensitivityPoint(
+                field=field,
+                value=float(value),
+                optimal_m=result.optimal_m,
+                ess_type=row.ess_type,
+                game_cost=row.cost,
+                naive_cost=naive_defense_cost(params),
+            )
+        )
+    return points
+
+
+def recommendation_stability(
+    base: GameParameters,
+    relative_error: float = 0.25,
+    steps: int = 5,
+    selection: str = "argmin",
+) -> dict:
+    """How far the optimal ``m`` moves under ±``relative_error`` in each
+    constant.
+
+    Returns a mapping ``field -> (min m*, baseline m*, max m*)`` over a
+    symmetric grid of perturbations. Small ranges mean the deployment
+    can misestimate its economics substantially and still configure
+    nearly the right buffer count — the practical robustness claim
+    behind using the game at all.
+    """
+    if not 0.0 < relative_error < 1.0:
+        raise ConfigurationError(
+            f"relative_error must be in (0, 1), got {relative_error}"
+        )
+    if steps < 2:
+        raise ConfigurationError(f"steps must be >= 2, got {steps}")
+    baseline = (
+        BufferOptimizer(base.with_m(1)).optimize(selection=selection).optimal_m
+    )
+    outcome = {}
+    for field in _ECONOMIC_FIELDS:
+        centre = getattr(base, field)
+        values = [
+            centre * (1.0 - relative_error + 2.0 * relative_error * i / (steps - 1))
+            for i in range(steps)
+        ]
+        points = sensitivity_sweep(base, field, values, selection=selection)
+        ms = [point.optimal_m for point in points]
+        outcome[field] = (min(ms), baseline, max(ms))
+    return outcome

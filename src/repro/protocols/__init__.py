@@ -1,0 +1,108 @@
+"""The TESLA broadcast-authentication protocol family.
+
+Every protocol the paper describes or compares against, implemented as
+paired sender/receiver state machines over the shared crypto, timesync
+and buffer substrates:
+
+- :mod:`~repro.protocols.tesla` — TESLA (S&P 2000)
+- :mod:`~repro.protocols.mu_tesla` — μTESLA (SPINS 2002)
+- :mod:`~repro.protocols.multilevel` — multi-level μTESLA (TECS 2004)
+- :mod:`~repro.protocols.eftp` — EFTP (the authors' prior work)
+- :mod:`~repro.protocols.edrp` — EDRP (the authors' prior work)
+- :mod:`~repro.protocols.tesla_pp` — TESLA++ (JCN 2009)
+- :mod:`~repro.protocols.dap` — DAP (this paper, §IV)
+"""
+
+from repro.protocols.base import (
+    AuthEvent,
+    AuthOutcome,
+    BroadcastReceiver,
+    BroadcastSender,
+    ReceiverStats,
+)
+from repro.protocols.dap import DapReceiver, DapSender
+from repro.protocols.edrp import EdrpReceiver, EdrpSender, edrp_params
+from repro.protocols.eftp import EftpReceiver, EftpSender, eftp_params
+from repro.protocols.messages import MESSAGE_BYTES, default_message, forged_message
+from repro.protocols.mu_tesla import MuTeslaReceiver, MuTeslaSender
+from repro.protocols.renewal import (
+    RENEWAL_TAG,
+    RenewingDapReceiver,
+    RenewingDapSender,
+    encode_renewal,
+    parse_renewal,
+)
+from repro.protocols.multilevel import (
+    CdmStats,
+    MultiLevelParams,
+    MultiLevelReceiver,
+    MultiLevelSender,
+    cdm_digest_payload,
+)
+from repro.protocols.packets import (
+    FORGED,
+    LEGITIMATE,
+    CdmPacket,
+    KeyDisclosurePacket,
+    MacAnnouncePacket,
+    MessageKeyPacket,
+    MicroMacRecord,
+    MuTeslaDataPacket,
+    StoredPacketRecord,
+    TeslaPacket,
+)
+from repro.protocols.tesla import TeslaReceiver, TeslaSender
+from repro.protocols.tesla_pp import TeslaPlusPlusReceiver, TeslaPlusPlusSender
+from repro.protocols.wire import (
+    decode_packet,
+    encode_packet,
+    framing_overhead_bits,
+)
+
+__all__ = [
+    "AuthEvent",
+    "AuthOutcome",
+    "BroadcastReceiver",
+    "BroadcastSender",
+    "CdmPacket",
+    "CdmStats",
+    "DapReceiver",
+    "DapSender",
+    "EdrpReceiver",
+    "EdrpSender",
+    "EftpReceiver",
+    "EftpSender",
+    "FORGED",
+    "KeyDisclosurePacket",
+    "LEGITIMATE",
+    "MESSAGE_BYTES",
+    "MacAnnouncePacket",
+    "MessageKeyPacket",
+    "MicroMacRecord",
+    "MultiLevelParams",
+    "MultiLevelReceiver",
+    "MultiLevelSender",
+    "MuTeslaDataPacket",
+    "MuTeslaReceiver",
+    "MuTeslaSender",
+    "RENEWAL_TAG",
+    "ReceiverStats",
+    "RenewingDapReceiver",
+    "RenewingDapSender",
+    "StoredPacketRecord",
+    "TeslaPacket",
+    "TeslaPlusPlusReceiver",
+    "TeslaPlusPlusSender",
+    "TeslaReceiver",
+    "TeslaSender",
+    "cdm_digest_payload",
+    "decode_packet",
+    "default_message",
+    "edrp_params",
+    "encode_packet",
+    "framing_overhead_bits",
+    "eftp_params",
+    "encode_renewal",
+    "forged_message",
+    "parse_renewal",
+]

@@ -1,0 +1,58 @@
+"""EDRP — Enhanced DoS-Resistant Protocol (paper §III-B, Fig. 3).
+
+Multi-level μTESLA with hash-chained CDMs: ``CDM_i`` carries
+``H(CDM_{i+1})``, so a receiver that authenticated ``CDM_i`` can
+authenticate the *first arriving copy* of ``CDM_{i+1}`` immediately —
+no buffering, no waiting for the high-level key disclosure. That keeps
+the multi-buffer DoS defence continuously armed even on lossy channels,
+which is EDRP's contribution; the plain scheme loses one interval of
+resistance whenever a CDM must be recovered the slow way.
+
+EDRP also leans on the high-level key chain for recovery of lost CDMs
+(``F0(F0(K_i))`` comparisons in the paper's description), which the
+shared :class:`~repro.protocols.multilevel.MultiLevelReceiver` exposes
+as ``key_chain_recovery`` (on by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.protocols.multilevel import (
+    MultiLevelParams,
+    MultiLevelReceiver,
+    MultiLevelSender,
+)
+
+__all__ = ["edrp_params", "EdrpSender", "EdrpReceiver"]
+
+
+def edrp_params(base: MultiLevelParams) -> MultiLevelParams:
+    """Derive EDRP parameters from a multi-level base configuration."""
+    return replace(base, cdm_hash_chaining=True, key_chain_recovery=True)
+
+
+def _require_edrp(params: MultiLevelParams) -> MultiLevelParams:
+    if not params.cdm_hash_chaining:
+        raise ConfigurationError(
+            "EDRP requires cdm_hash_chaining=True; use edrp_params() to"
+            " derive a configuration"
+        )
+    return params
+
+
+class EdrpSender(MultiLevelSender):
+    """Multi-level sender with EDRP hash chaining enforced."""
+
+    def __init__(self, seed: bytes, params: MultiLevelParams, **kwargs) -> None:
+        super().__init__(seed, _require_edrp(params), **kwargs)
+
+
+class EdrpReceiver(MultiLevelReceiver):
+    """Multi-level receiver with EDRP hash chaining enforced."""
+
+    def __init__(self, high_commitment, schedule, sync, params, **kwargs) -> None:
+        super().__init__(
+            high_commitment, schedule, sync, _require_edrp(params), **kwargs
+        )

@@ -1,0 +1,31 @@
+"""Deterministic message payloads for senders, tests and workloads.
+
+The paper's accounting assumes 200-bit (25-byte) messages; this helper
+produces deterministic, distinct 25-byte payloads so experiments are
+reproducible without a payload corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.mac import MESSAGE_BITS
+
+__all__ = ["MESSAGE_BYTES", "default_message", "forged_message"]
+
+#: Message size in whole bytes (200 bits -> 25 bytes).
+MESSAGE_BYTES = MESSAGE_BITS // 8
+
+
+def _digest_payload(tag: bytes) -> bytes:
+    return hashlib.sha256(tag).digest()[:MESSAGE_BYTES]
+
+
+def default_message(index: int, copy: int = 0) -> bytes:
+    """Deterministic authentic payload for interval ``index``, copy ``copy``."""
+    return _digest_payload(b"repro.msg|%d|%d" % (index, copy))
+
+
+def forged_message(index: int, nonce: int = 0) -> bytes:
+    """Deterministic forged payload, distinct from every authentic one."""
+    return _digest_payload(b"repro.forged|%d|%d" % (index, nonce))

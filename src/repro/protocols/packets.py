@@ -1,0 +1,223 @@
+"""Wire formats for the TESLA protocol family, with bit-accurate sizes.
+
+The paper's storage and bandwidth arguments are all counted in bits
+(Fig. 4: 200-bit messages, 80-bit MACs and keys, 32-bit indices, 24-bit
+μMACs; §IV-D: 280 bits stored per packet classically vs 56 in DAP).
+Every packet and stored-record type here exposes ``wire_bits`` /
+``stored_bits`` so those numbers are *derived* from the formats rather
+than hard-coded in benches.
+
+Each packet carries a ``provenance`` tag (``"legitimate"`` or
+``"forged"``). This is **simulation bookkeeping only**: it lets the
+metrics layer attribute outcomes (e.g. verify that no forged packet was
+ever authenticated) — protocol logic must never branch on it, and the
+test suite enforces that forged packets are rejected purely
+cryptographically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.mac import (
+    DEFAULT_MAC_BITS,
+    INDEX_BITS,
+    MESSAGE_BITS,
+    MICRO_MAC_BITS,
+)
+from repro.crypto.onewayfn import DEFAULT_KEY_BITS
+
+__all__ = [
+    "LEGITIMATE",
+    "FORGED",
+    "TeslaPacket",
+    "MuTeslaDataPacket",
+    "KeyDisclosurePacket",
+    "CdmPacket",
+    "MacAnnouncePacket",
+    "MessageKeyPacket",
+    "MicroMacRecord",
+    "StoredPacketRecord",
+]
+
+#: Provenance tag for packets originated by the legitimate sender.
+LEGITIMATE = "legitimate"
+#: Provenance tag for attacker-injected packets.
+FORGED = "forged"
+
+_HASH_BITS = DEFAULT_KEY_BITS  # EDRP's H(CDM) digests, 80 bits like keys.
+
+
+@dataclass(frozen=True)
+class TeslaPacket:
+    """Classic TESLA packet: message, MAC, and a piggybacked key disclosure.
+
+    ``P_i = (i, M_i, MAC_{K_i}(M_i), i-d, K_{i-d})`` — TESLA discloses a
+    key in *every* packet.
+    """
+
+    index: int
+    message: bytes
+    mac: bytes
+    disclosed_index: int
+    disclosed_key: Optional[bytes]
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size: 2 indices + message + MAC (+ key when the
+        packet actually discloses one)."""
+        bits = 2 * INDEX_BITS + MESSAGE_BITS + DEFAULT_MAC_BITS
+        if self.disclosed_key is not None:
+            bits += DEFAULT_KEY_BITS
+        return bits
+
+
+@dataclass(frozen=True)
+class MuTeslaDataPacket:
+    """μTESLA data packet: message and MAC only (keys disclosed per epoch)."""
+
+    index: int
+    message: bytes
+    mac: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size: index + message + MAC."""
+        return INDEX_BITS + MESSAGE_BITS + DEFAULT_MAC_BITS
+
+
+@dataclass(frozen=True)
+class KeyDisclosurePacket:
+    """Per-epoch key disclosure (μTESLA and the multi-level low layer)."""
+
+    index: int
+    key: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size: index + key."""
+        return INDEX_BITS + DEFAULT_KEY_BITS
+
+
+@dataclass(frozen=True)
+class CdmPacket:
+    """Multi-level μTESLA commitment-distribution message.
+
+    ``CDM_i`` is broadcast during high-level interval ``i`` and carries:
+
+    - the commitment ``K_{i+1,0}`` of the *next* interval's low chain,
+    - a MAC under the high-level key ``K_i``,
+    - the disclosed high-level key ``K_{i-d}``,
+    - (EDRP only) ``H(CDM_{i+1})``, the hash chaining that lets a
+      receiver who authenticated ``CDM_i`` instantly authenticate the
+      next CDM even when key disclosures are lost.
+    """
+
+    high_index: int
+    low_commitment: bytes
+    mac: bytes
+    disclosed_index: int
+    disclosed_key: Optional[bytes]
+    next_cdm_hash: Optional[bytes] = None
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size; optional fields (disclosed key, EDRP hash)
+        count only when present."""
+        bits = (
+            2 * INDEX_BITS
+            + DEFAULT_KEY_BITS  # low-chain commitment
+            + DEFAULT_MAC_BITS
+        )
+        if self.disclosed_key is not None:
+            bits += DEFAULT_KEY_BITS
+        if self.next_cdm_hash is not None:
+            bits += _HASH_BITS
+        return bits
+
+    def mac_payload(self) -> bytes:
+        """The bytes covered by this CDM's MAC (everything but the MAC
+        and the disclosed key, which change after MAC computation)."""
+        parts = [
+            self.high_index.to_bytes(4, "big"),
+            self.low_commitment,
+            self.next_cdm_hash or b"",
+        ]
+        return b"|".join(parts)
+
+
+@dataclass(frozen=True)
+class MacAnnouncePacket:
+    """First-phase DAP / TESLA++ packet: MAC and index only (Fig. 4 step 3).
+
+    80 + 32 = 112 bits on the wire — the message itself is withheld
+    until key-disclosure time, which is what makes flooding cheap to
+    absorb (receivers buffer 56-bit μMAC records, not 280-bit packets).
+    """
+
+    index: int
+    mac: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size: index + MAC."""
+        return INDEX_BITS + DEFAULT_MAC_BITS
+
+
+@dataclass(frozen=True)
+class MessageKeyPacket:
+    """Second-phase DAP / TESLA++ packet: message + disclosed key (Fig. 4
+    step 4). 200 + 80 + 32 = 312 bits."""
+
+    index: int
+    message: bytes
+    key: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def wire_bits(self) -> int:
+        """Serialized size: index + message + key."""
+        return INDEX_BITS + MESSAGE_BITS + DEFAULT_KEY_BITS
+
+
+@dataclass(frozen=True)
+class MicroMacRecord:
+    """What a DAP receiver buffers per copy: μMAC + index = 24 + 32 = 56 bits.
+
+    This is the §IV-D storage unit; five of these fit in the memory of a
+    single classic 280-bit record, which is the whole point of DAP.
+    """
+
+    index: int
+    micro_mac: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def stored_bits(self) -> int:
+        """Stored size: μMAC + index."""
+        return MICRO_MAC_BITS + INDEX_BITS
+
+
+@dataclass(frozen=True)
+class StoredPacketRecord:
+    """Classic buffered record: full message + MAC = 200 + 80 = 280 bits.
+
+    This is what TESLA-style receivers (and TESLA++ as accounted by the
+    paper's §VI-A, ``s1 = 280``) hold until key disclosure.
+    """
+
+    index: int
+    message: bytes
+    mac: bytes
+    provenance: str = field(default=LEGITIMATE, compare=False)
+
+    @property
+    def stored_bits(self) -> int:
+        """Stored size: message + MAC."""
+        return MESSAGE_BITS + DEFAULT_MAC_BITS

@@ -1,0 +1,154 @@
+"""Loss processes for the broadcast channel.
+
+The paper evaluates "low QoS channels", and real wireless loss is
+*bursty*, not i.i.d. — fades and interference kill runs of consecutive
+packets. That matters here: multi-level μTESLA sends redundant CDM
+copies precisely to survive loss, and a burst can take out every copy
+at once, which is the failure mode EFTP's and EDRP's recovery paths
+exist for. Two processes:
+
+:class:`BernoulliLoss`
+    Independent drops with fixed probability — the default model.
+:class:`GilbertElliottLoss`
+    The classic two-state Markov burst model: a GOOD state with low
+    loss and a BAD state with high loss, with geometric sojourn times.
+    Parameterised either directly or via
+    :meth:`GilbertElliottLoss.from_average` (target average loss +
+    mean burst length), so ablations can hold the average constant and
+    vary only the burstiness.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LossProcess", "BernoulliLoss", "GilbertElliottLoss"]
+
+
+class LossProcess(ABC):
+    """A stateful per-link loss decision process."""
+
+    @abstractmethod
+    def should_drop(self, rng: random.Random) -> bool:
+        """Decide one delivery; may advance internal channel state."""
+
+    @abstractmethod
+    def average_loss(self) -> float:
+        """The long-run loss probability of the process."""
+
+
+class BernoulliLoss(LossProcess):
+    """Independent loss with fixed probability (the memoryless model)."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self._probability = probability
+
+    def should_drop(self, rng: random.Random) -> bool:
+        return rng.random() < self._probability
+
+    def average_loss(self) -> float:
+        return self._probability
+
+
+class GilbertElliottLoss(LossProcess):
+    """Two-state Markov burst-loss channel.
+
+    Args:
+        p_good_to_bad: per-delivery probability of entering a fade.
+        p_bad_to_good: per-delivery probability of the fade ending
+            (mean burst length = ``1 / p_bad_to_good`` deliveries).
+        loss_good: loss probability while GOOD (often ~0).
+        loss_bad: loss probability while BAD (often ~1).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for name, value in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
+            raise ConfigurationError("a fade must be able to end (p_bad_to_good > 0)")
+        self._g2b = p_good_to_bad
+        self._b2g = p_bad_to_good
+        self._loss_good = loss_good
+        self._loss_bad = loss_bad
+        self._bad = False
+
+    @classmethod
+    def from_average(
+        cls,
+        average_loss: float,
+        mean_burst: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> "GilbertElliottLoss":
+        """Build a channel with a target average loss and burst length.
+
+        The stationary BAD share ``π`` solves
+        ``average = π·loss_bad + (1-π)·loss_good``; the transition
+        rates follow from ``π`` and ``mean_burst = 1 / p_bad_to_good``.
+        """
+        if not 0.0 <= average_loss <= 1.0:
+            raise ConfigurationError(
+                f"average_loss must be in [0, 1], got {average_loss}"
+            )
+        if mean_burst < 1.0:
+            raise ConfigurationError(f"mean_burst must be >= 1, got {mean_burst}")
+        if loss_bad <= loss_good:
+            raise ConfigurationError("need loss_bad > loss_good")
+        pi_bad = (average_loss - loss_good) / (loss_bad - loss_good)
+        if not 0.0 <= pi_bad <= 1.0:
+            raise ConfigurationError(
+                f"average_loss {average_loss} unreachable with"
+                f" loss_good={loss_good}, loss_bad={loss_bad}"
+            )
+        b2g = 1.0 / mean_burst
+        if pi_bad >= 1.0:
+            g2b = 1.0
+        else:
+            g2b = min(b2g * pi_bad / (1.0 - pi_bad), 1.0)
+        return cls(g2b, b2g, loss_good, loss_bad)
+
+    @property
+    def in_fade(self) -> bool:
+        """Whether the channel is currently in the BAD state."""
+        return self._bad
+
+    def stationary_bad_share(self) -> float:
+        """Long-run fraction of time spent in the BAD state."""
+        total = self._g2b + self._b2g
+        if total == 0.0:
+            return 0.0
+        return self._g2b / total
+
+    def average_loss(self) -> float:
+        pi = self.stationary_bad_share()
+        return pi * self._loss_bad + (1.0 - pi) * self._loss_good
+
+    def should_drop(self, rng: random.Random) -> bool:
+        # advance the channel state, then draw the loss
+        if self._bad:
+            if rng.random() < self._b2g:
+                self._bad = False
+        else:
+            if rng.random() < self._g2b:
+                self._bad = True
+        loss = self._loss_bad if self._bad else self._loss_good
+        return rng.random() < loss

@@ -1,0 +1,128 @@
+"""Multi-seed experiment runner: scenarios with error bars.
+
+Single simulation runs are noisy (the reservoir is random); credible
+evaluation repeats each configuration across seeds and reports means
+with confidence intervals. This module is what the simulation benches
+and the sweep-style examples build on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.analysis.statistics import MeanEstimate, mean_estimate
+from repro.errors import ConfigurationError
+from repro.sim.scenario import ScenarioConfig, ScenarioResult, run_scenario
+
+__all__ = ["RepeatedResult", "run_repeated", "SweepCell", "run_config_sweep"]
+
+
+@dataclass(frozen=True)
+class RepeatedResult:
+    """One configuration, many seeds.
+
+    Attributes:
+        config: the base configuration (its ``seed`` field is the first
+            seed used).
+        results: per-seed scenario results, seed order.
+        authentication_rate: fleet-mean auth rate, with spread.
+        attack_success_rate: fleet-mean attack success, with spread.
+        total_forged_accepted: summed across every seed and node —
+            the security invariant demands this be zero.
+        peak_buffer_bits: worst per-node footprint over all seeds.
+    """
+
+    config: ScenarioConfig
+    results: Tuple[ScenarioResult, ...]
+    authentication_rate: MeanEstimate
+    attack_success_rate: MeanEstimate
+    total_forged_accepted: int
+    peak_buffer_bits: int
+
+    @property
+    def seeds(self) -> List[int]:
+        """The seeds that were run."""
+        return [result.config.seed for result in self.results]
+
+
+def run_repeated(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> RepeatedResult:
+    """Run ``config`` once per seed and aggregate.
+
+    Args:
+        config: base configuration; its own ``seed`` is ignored.
+        seeds: the seeds to run (>= 1; >= 2 for meaningful intervals).
+        confidence: confidence level for the reported intervals.
+    """
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError("seeds must be distinct")
+    results = [
+        run_scenario(dataclasses.replace(config, seed=seed)) for seed in seeds
+    ]
+    return RepeatedResult(
+        config=config,
+        results=tuple(results),
+        authentication_rate=mean_estimate(
+            [r.authentication_rate for r in results], confidence
+        ),
+        attack_success_rate=mean_estimate(
+            [r.attack_success_rate for r in results], confidence
+        ),
+        total_forged_accepted=sum(r.fleet.total_forged_accepted for r in results),
+        peak_buffer_bits=max(r.fleet.peak_buffer_bits for r in results),
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of a configuration sweep."""
+
+    label: str
+    config: ScenarioConfig
+    result: RepeatedResult
+
+
+def run_config_sweep(
+    base: ScenarioConfig,
+    axis: str,
+    values: Sequence[object],
+    seeds: Sequence[int],
+    label: Optional[Callable[[object], str]] = None,
+    confidence: float = 0.95,
+) -> List[SweepCell]:
+    """Sweep one :class:`ScenarioConfig` field across ``values``.
+
+    Args:
+        base: configuration shared by every cell.
+        axis: field name to vary (e.g. ``"buffers"``,
+            ``"attack_fraction"``).
+        values: values for the swept field.
+        seeds: seeds per cell.
+        label: cell-label formatter (defaults to ``f"{axis}={value}"``).
+
+    Returns:
+        one :class:`SweepCell` per value, in order.
+    """
+    if not values:
+        raise ConfigurationError("values must be non-empty")
+    if axis not in {field.name for field in dataclasses.fields(ScenarioConfig)}:
+        raise ConfigurationError(f"unknown ScenarioConfig field {axis!r}")
+    fmt = label or (lambda value: f"{axis}={value}")
+    cells: List[SweepCell] = []
+    for value in values:
+        config = dataclasses.replace(base, **{axis: value})
+        cells.append(
+            SweepCell(
+                label=fmt(value),
+                config=config,
+                result=run_repeated(config, seeds, confidence),
+            )
+        )
+    return cells

@@ -1,0 +1,131 @@
+"""Experiment metrics aggregated across receiver nodes.
+
+The quantities the paper's evaluation cares about, measured rather than
+assumed: per-node and fleet-wide authentication rates, the empirical
+attack success rate (to compare with the analytic ``p^m``), forged
+acceptance (must be zero), and peak buffer memory in bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import AuthOutcome
+from repro.sim.nodes import ReceiverNode
+
+__all__ = ["NodeSummary", "FleetSummary", "summarise_nodes"]
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """One receiver's outcome tallies."""
+
+    name: str
+    authenticated: int
+    lost_no_record: int
+    rejected_forged: int
+    rejected_weak_auth: int
+    discarded_unsafe: int
+    forged_accepted: int
+    packets_received: int
+    peak_buffer_bits: int
+
+    @property
+    def attack_successes(self) -> int:
+        """Authentic messages lost to buffer eviction — the attack's win
+        condition in the game model."""
+        return self.lost_no_record
+
+    def authentication_rate(self, sent_authentic: int) -> float:
+        """Authenticated fraction of the authentic messages broadcast."""
+        if sent_authentic <= 0:
+            raise ConfigurationError(
+                f"sent_authentic must be positive, got {sent_authentic}"
+            )
+        return self.authenticated / sent_authentic
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Aggregate over all receivers in a scenario."""
+
+    nodes: tuple
+    sent_authentic: int
+
+    @property
+    def node_count(self) -> int:
+        """Number of receivers aggregated."""
+        return len(self.nodes)
+
+    @property
+    def total_authenticated(self) -> int:
+        """Authenticated messages across the fleet."""
+        return sum(node.authenticated for node in self.nodes)
+
+    @property
+    def total_forged_accepted(self) -> int:
+        """Forged acceptances across the fleet (invariant: zero)."""
+        return sum(node.forged_accepted for node in self.nodes)
+
+    @property
+    def mean_authentication_rate(self) -> float:
+        """Fleet-average authentication rate."""
+        if not self.nodes or self.sent_authentic <= 0:
+            return 0.0
+        rates = [
+            node.authentication_rate(self.sent_authentic) for node in self.nodes
+        ]
+        return sum(rates) / len(rates)
+
+    @property
+    def mean_attack_success_rate(self) -> float:
+        """Fleet-average fraction of authentic messages the flood killed.
+
+        The empirical counterpart of the game's ``P = p^m`` (more
+        precisely of the hypergeometric retention probability — see
+        EXPERIMENTS.md).
+        """
+        if not self.nodes or self.sent_authentic <= 0:
+            return 0.0
+        rates = [node.attack_successes / self.sent_authentic for node in self.nodes]
+        return sum(rates) / len(rates)
+
+    @property
+    def peak_buffer_bits(self) -> int:
+        """Largest per-node buffer footprint observed."""
+        return max((node.peak_buffer_bits for node in self.nodes), default=0)
+
+
+def _stat(receiver_stats, outcome: AuthOutcome) -> int:
+    return receiver_stats.by_outcome.get(outcome, 0)
+
+
+def summarise_nodes(
+    nodes: List[ReceiverNode], sent_authentic: int
+) -> FleetSummary:
+    """Fold receiver-node stats into a :class:`FleetSummary`.
+
+    Args:
+        nodes: the scenario's receiver nodes.
+        sent_authentic: distinct authentic messages the sender broadcast
+            (known to the harness).
+    """
+    summaries = []
+    for node in nodes:
+        stats = node.receiver.stats
+        summaries.append(
+            NodeSummary(
+                name=node.name,
+                authenticated=stats.authenticated,
+                lost_no_record=stats.lost_no_record,
+                rejected_forged=stats.rejected_forged,
+                rejected_weak_auth=stats.rejected_weak_auth,
+                discarded_unsafe=stats.discarded_unsafe,
+                forged_accepted=stats.forged_accepted,
+                packets_received=stats.packets_received,
+                peak_buffer_bits=stats.peak_buffer_bits,
+            )
+        )
+    return FleetSummary(nodes=tuple(summaries), sent_authentic=sent_authentic)

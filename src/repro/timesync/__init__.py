@@ -1,0 +1,15 @@
+"""Loose time synchronisation: clocks, interval schedules, safety checks."""
+
+from repro.timesync.clock import Clock, DriftingClock, SimClock
+from repro.timesync.intervals import IntervalSchedule, TwoLevelSchedule
+from repro.timesync.sync import LooseTimeSync, SecurityCondition
+
+__all__ = [
+    "Clock",
+    "DriftingClock",
+    "IntervalSchedule",
+    "LooseTimeSync",
+    "SecurityCondition",
+    "SimClock",
+    "TwoLevelSchedule",
+]

@@ -1,0 +1,91 @@
+"""Clock abstractions for simulated loose time synchronisation.
+
+TESLA-family protocols only need *loose* synchronisation: the receiver
+must know an upper bound on how far its clock lags the sender's. These
+clocks let the simulator model per-node offset and drift explicitly so
+the security condition can be tested under worst-case skew.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Clock", "SimClock", "DriftingClock"]
+
+
+class Clock(ABC):
+    """Read-only time source measured in seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in seconds."""
+
+
+class SimClock(Clock):
+    """A manually advanced clock — the simulator's master time source.
+
+    Time can only move forward; rewinding raises, because discrete-event
+    simulation depends on monotonicity.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Advance by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ConfigurationError(f"cannot advance clock by negative {delta}")
+        self._now += delta
+        return self._now
+
+    def set(self, time: float) -> float:
+        """Jump to an absolute ``time`` (must not move backwards)."""
+        if time < self._now:
+            raise ConfigurationError(
+                f"cannot move clock backwards from {self._now} to {time}"
+            )
+        self._now = float(time)
+        return self._now
+
+
+class DriftingClock(Clock):
+    """A node's local clock: master time plus fixed offset and linear drift.
+
+    ``local = master * (1 + drift_rate) + offset``
+
+    Positive offset means the node's clock runs ahead of the master.
+    Drift rates are dimensionless (seconds of error per second); real
+    sensor-node crystals are in the tens of ppm, i.e. ``drift_rate``
+    around ``1e-5``.
+    """
+
+    def __init__(self, master: Clock, offset: float = 0.0, drift_rate: float = 0.0) -> None:
+        if drift_rate <= -1.0:
+            raise ConfigurationError(
+                f"drift_rate must be > -1 (clock must move forward), got {drift_rate}"
+            )
+        self._master = master
+        self._offset = float(offset)
+        self._drift_rate = float(drift_rate)
+
+    @property
+    def offset(self) -> float:
+        """Fixed offset relative to the master clock (seconds)."""
+        return self._offset
+
+    @property
+    def drift_rate(self) -> float:
+        """Linear drift rate (seconds of error per master second)."""
+        return self._drift_rate
+
+    def now(self) -> float:
+        return self._master.now() * (1.0 + self._drift_rate) + self._offset
+
+    def error_at(self, master_time: float) -> float:
+        """Absolute clock error versus the master at a given master time."""
+        return master_time * self._drift_rate + self._offset

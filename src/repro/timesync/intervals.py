@@ -1,0 +1,152 @@
+"""Interval schedules: the mapping between wall time and key indices.
+
+TESLA divides time into equal intervals; interval ``i`` (1-based, to
+match key-chain indices where index 0 is the commitment) covers
+``[start + (i-1)*duration, start + i*duration)``. Multi-level μTESLA
+nests ``n`` low-level sub-intervals inside each high-level interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["IntervalSchedule", "TwoLevelSchedule"]
+
+
+@dataclass(frozen=True)
+class IntervalSchedule:
+    """Uniform 1-based interval schedule.
+
+    Attributes:
+        start: wall time at which interval 1 begins.
+        duration: interval length in seconds.
+        count: optional number of intervals (``None`` = unbounded).
+    """
+
+    start: float
+    duration: float
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {self.duration}")
+        if self.count is not None and self.count <= 0:
+            raise ConfigurationError(f"count must be positive, got {self.count}")
+
+    def index_at(self, time: float) -> int:
+        """Interval index containing ``time``.
+
+        Returns 0 for times before the schedule starts (the bootstrap
+        phase), and is clamped to ``count`` when the schedule is finite.
+        """
+        if time < self.start:
+            return 0
+        index = int(math.floor((time - self.start) / self.duration)) + 1
+        if self.count is not None and index > self.count:
+            return self.count
+        return index
+
+    def start_of(self, index: int) -> float:
+        """Wall time at which interval ``index`` begins."""
+        self._check_index(index)
+        return self.start + (index - 1) * self.duration
+
+    def end_of(self, index: int) -> float:
+        """Wall time at which interval ``index`` ends (exclusive)."""
+        self._check_index(index)
+        return self.start + index * self.duration
+
+    def contains(self, index: int, time: float) -> bool:
+        """Whether ``time`` falls inside interval ``index``."""
+        return self.start_of(index) <= time < self.end_of(index)
+
+    def _check_index(self, index: int) -> None:
+        if index < 1:
+            raise ConfigurationError(f"interval index must be >= 1, got {index}")
+        if self.count is not None and index > self.count:
+            raise ConfigurationError(
+                f"interval index {index} beyond schedule count {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class TwoLevelSchedule:
+    """Nested schedule for multi-level μTESLA.
+
+    High-level interval ``i`` contains low-level sub-intervals
+    ``(i, 1) .. (i, low_per_high)``; globally the ``j``-th sub-interval of
+    high interval ``i`` is low interval ``(i-1)*low_per_high + j`` of the
+    flattened low schedule.
+
+    Attributes:
+        start: wall time at which high interval 1 begins.
+        low_duration: sub-interval length in seconds.
+        low_per_high: ``n``, sub-intervals per high interval.
+        high_count: optional number of high intervals.
+    """
+
+    start: float
+    low_duration: float
+    low_per_high: int
+    high_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.low_duration <= 0:
+            raise ConfigurationError(
+                f"low_duration must be positive, got {self.low_duration}"
+            )
+        if self.low_per_high <= 0:
+            raise ConfigurationError(
+                f"low_per_high must be positive, got {self.low_per_high}"
+            )
+        if self.high_count is not None and self.high_count <= 0:
+            raise ConfigurationError(
+                f"high_count must be positive, got {self.high_count}"
+            )
+
+    @property
+    def high_duration(self) -> float:
+        """High-level interval length in seconds."""
+        return self.low_duration * self.low_per_high
+
+    @property
+    def high_schedule(self) -> IntervalSchedule:
+        """The high-level view as a plain :class:`IntervalSchedule`."""
+        return IntervalSchedule(self.start, self.high_duration, self.high_count)
+
+    @property
+    def low_schedule(self) -> IntervalSchedule:
+        """The flattened low-level view."""
+        count = None if self.high_count is None else self.high_count * self.low_per_high
+        return IntervalSchedule(self.start, self.low_duration, count)
+
+    def position_at(self, time: float) -> Tuple[int, int]:
+        """(high index, low sub-index) containing ``time``; (0, 0) before start."""
+        flat = self.low_schedule.index_at(time)
+        if flat == 0:
+            return (0, 0)
+        return self.split(flat)
+
+    def split(self, flat_low_index: int) -> Tuple[int, int]:
+        """Convert a flattened low index into ``(high, sub)`` coordinates."""
+        if flat_low_index < 1:
+            raise ConfigurationError(
+                f"flat low index must be >= 1, got {flat_low_index}"
+            )
+        high = (flat_low_index - 1) // self.low_per_high + 1
+        sub = (flat_low_index - 1) % self.low_per_high + 1
+        return (high, sub)
+
+    def flatten(self, high: int, sub: int) -> int:
+        """Convert ``(high, sub)`` coordinates into a flattened low index."""
+        if high < 1:
+            raise ConfigurationError(f"high index must be >= 1, got {high}")
+        if not 1 <= sub <= self.low_per_high:
+            raise ConfigurationError(
+                f"sub index {sub} outside 1..{self.low_per_high}"
+            )
+        return (high - 1) * self.low_per_high + sub

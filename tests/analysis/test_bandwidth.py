@@ -1,0 +1,140 @@
+"""Unit tests for the Fig. 5 bandwidth/memory model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bandwidth import (
+    PAPER_MEMORY_LARGE_BITS,
+    PAPER_MEMORY_SMALL_BITS,
+    PAPER_RECORD_BITS_DAP,
+    PAPER_RECORD_BITS_TESLAPP,
+    attack_success_probability,
+    attacker_bandwidth_required,
+    buffer_multiplier,
+    buffers_for_memory,
+    fig5_series,
+    mac_bandwidth_required,
+    memory_saving_ratio,
+    required_forged_fraction,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPaperAccounting:
+    def test_record_sizes(self):
+        assert PAPER_RECORD_BITS_TESLAPP == 280
+        assert PAPER_RECORD_BITS_DAP == 56
+
+    def test_memory_saving_is_80_percent(self):
+        assert memory_saving_ratio() == pytest.approx(0.8)
+
+    def test_buffer_multiplier_is_5(self):
+        assert buffer_multiplier() == pytest.approx(5.0)
+
+    def test_buffers_for_memory(self):
+        assert buffers_for_memory(1024 * 1000, 280) == 3657
+        assert buffers_for_memory(1024 * 1000, 56) == 18285
+
+    def test_dap_affords_5x_buffers(self):
+        for memory in (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS):
+            ratio = buffers_for_memory(memory, 56) / buffers_for_memory(memory, 280)
+            assert ratio == pytest.approx(5.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            buffers_for_memory(0, 56)
+        with pytest.raises(ConfigurationError):
+            buffers_for_memory(100, 0)
+        with pytest.raises(ConfigurationError):
+            buffers_for_memory(10, 56)
+
+
+class TestSuccessModel:
+    def test_p_to_the_m(self):
+        assert attack_success_probability(0.5, 3) == pytest.approx(0.125)
+
+    def test_forged_fraction_inverse(self):
+        p = required_forged_fraction(0.125, 3)
+        assert p == pytest.approx(0.5)
+
+    @given(
+        st.floats(min_value=0.01, max_value=1.0),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip(self, target, m):
+        p = required_forged_fraction(target, m)
+        assert attack_success_probability(p, m) == pytest.approx(target, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            attack_success_probability(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            required_forged_fraction(0.0, 3)
+        with pytest.raises(ConfigurationError):
+            required_forged_fraction(0.5, 0)
+
+
+class TestBandwidthReadings:
+    def test_attacker_bandwidth_literal_formula(self):
+        """xm = P^(1/m) (1 - xd)."""
+        assert attacker_bandwidth_required(0.125, 3, xd=0.2) == pytest.approx(
+            0.5 * 0.8
+        )
+
+    def test_more_buffers_forces_attacker_to_spend_more(self):
+        small = attacker_bandwidth_required(0.1, 10)
+        large = attacker_bandwidth_required(0.1, 100)
+        assert large > small
+
+    def test_mac_bandwidth_dual(self):
+        # attacker 0.2, target 0.125 with m=3 -> p_needed 0.5 -> xm = 0.2
+        assert mac_bandwidth_required(0.2, 0.125, 3) == pytest.approx(0.2)
+
+    def test_more_buffers_cheaper_macs(self):
+        small = mac_bandwidth_required(0.2, 0.1, 10)
+        large = mac_bandwidth_required(0.2, 0.1, 100)
+        assert large < small
+
+    def test_mac_bandwidth_capped_at_non_data_share(self):
+        assert mac_bandwidth_required(0.79, 1e-9, 1, xd=0.2) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            attacker_bandwidth_required(0.1, 3, xd=1.0)
+        with pytest.raises(ConfigurationError):
+            mac_bandwidth_required(-0.1, 0.1, 3)
+
+
+class TestFig5Series:
+    @pytest.fixture
+    def series(self):
+        levels = [0.05, 0.1, 0.2, 0.4]
+        return fig5_series(levels)
+
+    def test_four_curves(self, series):
+        assert len(series) == 4
+
+    def test_dap_dominates_teslapp_at_equal_memory(self, series):
+        """The figure's headline shape, in both readings."""
+        for memory in (PAPER_MEMORY_LARGE_BITS, PAPER_MEMORY_SMALL_BITS):
+            dap = series[("DAP", memory)]
+            teslapp = series[("TESLA++", memory)]
+            for d, t in zip(dap, teslapp):
+                assert d.attacker_bandwidth > t.attacker_bandwidth
+                assert d.mac_bandwidth < t.mac_bandwidth
+
+    def test_more_memory_dominates_less(self, series):
+        for protocol in ("DAP", "TESLA++"):
+            large = series[(protocol, PAPER_MEMORY_LARGE_BITS)]
+            small = series[(protocol, PAPER_MEMORY_SMALL_BITS)]
+            for lg, sm in zip(large, small):
+                assert lg.attacker_bandwidth >= sm.attacker_bandwidth
+                assert lg.mac_bandwidth <= sm.mac_bandwidth
+
+    def test_buffer_counts_derived_from_memory(self, series):
+        point = series[("DAP", PAPER_MEMORY_LARGE_BITS)][0]
+        assert point.buffers == buffers_for_memory(PAPER_MEMORY_LARGE_BITS, 56)

@@ -1,0 +1,101 @@
+"""Tests for the analytic regime boundaries, pinned against the numeric
+stability classification."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.boundaries import (
+    corner_to_edge_boundary,
+    edge_to_interior_boundary,
+    interior_to_give_up_boundary,
+    regime_boundaries,
+)
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType, stable_points
+from repro.game.parameters import GameParameters, paper_parameters
+
+
+class TestClosedForms:
+    def test_corner_boundary_closed_form_at_p08(self):
+        """m = log(k1 p / Ra) / log p = 11.32 at the paper's constants —
+        the analytic version of the paper's '1 <= m <= 11' band."""
+        boundary = corner_to_edge_boundary(paper_parameters(p=0.8, m=1))
+        assert boundary == pytest.approx(
+            math.log(16 / 200) / math.log(0.8), rel=1e-12
+        )
+        assert math.floor(boundary) == 11
+
+    def test_edge_boundary_at_p08(self):
+        """(1,Y') hands over to the interior between m=16 and 17."""
+        boundary = edge_to_interior_boundary(paper_parameters(p=0.8, m=1))
+        assert 16.0 < boundary < 17.0
+
+    def test_give_up_boundary_at_p08(self):
+        """The interior exits at m = 54.x — the paper's '55 <= m' band."""
+        boundary = interior_to_give_up_boundary(paper_parameters(p=0.8, m=1))
+        assert 54.0 < boundary < 55.0
+
+    def test_boundaries_shift_right_with_p(self):
+        """Heavier attacks keep (1,1) stable for larger m (Fig. 7's
+        underlying mechanism)."""
+        low = corner_to_edge_boundary(paper_parameters(p=0.5, m=1))
+        high = corner_to_edge_boundary(paper_parameters(p=0.9, m=1))
+        assert high > low
+
+    def test_degenerate_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            corner_to_edge_boundary(paper_parameters(p=1.0, m=1))
+        with pytest.raises(ConfigurationError):
+            regime_boundaries(paper_parameters(p=0.0, m=1))
+
+    def test_assumption_violation_rejected(self):
+        weak = GameParameters(ra=10.0, k1=20.0, k2=4.0, p=0.9, m=1)
+        with pytest.raises(ConfigurationError):
+            corner_to_edge_boundary(weak)
+
+
+class TestAgainstStabilityAnalysis:
+    """The boundaries must predict the numerically classified ESS."""
+
+    _LABELS = {
+        "(1,1)": EssType.CORNER_11,
+        "(1,Y')": EssType.EDGE_1Y,
+        "(X,Y)": EssType.INTERIOR,
+        "(X',1)": EssType.EDGE_X1,
+    }
+
+    @pytest.mark.parametrize("m", [1, 5, 11, 12, 16, 17, 30, 54, 55, 80])
+    def test_band_of_matches_stable_point_at_p08(self, m):
+        params = paper_parameters(p=0.8, m=m, max_buffers=200)
+        bands = regime_boundaries(params)
+        stable = stable_points(params)
+        assert len(stable) == 1
+        assert self._LABELS[bands.band_of(m)] is stable[0].ess_type
+
+    @given(
+        st.floats(min_value=0.3, max_value=0.93),
+        st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_band_of_matches_stability_generally(self, p, m):
+        params = paper_parameters(p=p, m=m, max_buffers=300)
+        bands = regime_boundaries(params)
+        stable = stable_points(params)
+        if len(stable) != 1:
+            return  # boundary-degenerate parameter combinations
+        assert self._LABELS[bands.band_of(m)] is stable[0].ess_type
+
+    def test_extreme_p_band_collapse_handled(self):
+        """At p = 0.95 the middle bands collapse; band_of must still
+        agree with the stability analysis."""
+        for m in (30, 44, 50, 70):
+            params = paper_parameters(p=0.95, m=m, max_buffers=200)
+            stable = stable_points(params)
+            bands = regime_boundaries(params)
+            assert len(stable) == 1
+            assert self._LABELS[bands.band_of(m)] is stable[0].ess_type

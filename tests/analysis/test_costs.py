@@ -1,0 +1,71 @@
+"""Unit tests for the Fig. 7 / Fig. 8 cost-curve analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.costs import cost_curves, crossover_p
+from repro.errors import ConfigurationError
+from repro.game.parameters import paper_parameters
+
+GRID = [0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.97, 0.99]
+
+
+@pytest.fixture(scope="module")
+def paper_curves():
+    return cost_curves(paper_parameters(p=0.5, m=1), GRID, selection="paper")
+
+
+@pytest.fixture(scope="module")
+def argmin_curves():
+    return cost_curves(paper_parameters(p=0.5, m=1), GRID, selection="argmin")
+
+
+class TestCostCurves:
+    def test_grid_preserved(self, paper_curves):
+        assert paper_curves.attack_levels == GRID
+
+    def test_game_always_cheaper_than_naive(self, paper_curves, argmin_curves):
+        """Fig. 8: E <= N over the whole sweep."""
+        assert paper_curves.always_cheaper()
+        assert argmin_curves.always_cheaper()
+
+    def test_saving_reopens_at_extreme_attack(self, paper_curves):
+        """§VI-B-4: "especially when p > 0.94 our defense mechanism
+        greatly reduces the average overall cost" — the E-vs-N gap
+        shrinks toward p ≈ 0.95 and then re-opens sharply."""
+        by_p = {point.p: point.saving for point in paper_curves}
+        assert by_p[0.99] > by_p[0.95] + 30
+        assert all(point.saving >= 0 for point in paper_curves)
+
+    def test_optimal_m_grows_with_p_below_saturation(self, argmin_curves):
+        ms = argmin_curves.optimal_ms
+        assert ms[0] < ms[4]  # 0.2 -> 0.9
+
+    def test_paper_mode_saturates_near_cap(self, paper_curves):
+        """Fig. 7: m pinned near M = 50 for p > 0.94."""
+        by_p = dict(zip(paper_curves.attack_levels, paper_curves.optimal_ms))
+        assert by_p[0.97] > 35
+        assert by_p[0.99] > 35
+        assert by_p[0.8] < 20
+
+    def test_crossover_near_094(self, paper_curves):
+        crossover = crossover_p(paper_curves)
+        assert crossover is not None
+        assert 0.9 <= crossover <= 0.99
+
+    def test_naive_cost_is_selection_independent(self, paper_curves, argmin_curves):
+        assert paper_curves.naive_costs == argmin_curves.naive_costs
+
+    def test_argmin_never_worse_than_paper_mode(self, paper_curves, argmin_curves):
+        for a, p in zip(argmin_curves, paper_curves):
+            assert a.game_cost <= p.game_cost + 1e-9
+
+    def test_point_accessors(self, paper_curves):
+        point = paper_curves.points[0]
+        assert point.saving == pytest.approx(point.naive_cost - point.game_cost)
+        assert 0.0 <= point.saving_ratio <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cost_curves(paper_parameters(p=0.5, m=1), [])

@@ -1,0 +1,96 @@
+"""Unit tests for tables, ASCII plots and CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis.reporting import (
+    ascii_phase_portrait,
+    ascii_series_plot,
+    render_table,
+    write_csv,
+)
+from repro.errors import ConfigurationError
+from repro.game.parameters import paper_parameters
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long_header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "long_header" in lines[0]
+        assert len({len(line) for line in lines[:2]}) <= 2
+
+    def test_title(self):
+        text = render_table(["a"], [["x"]], title="T")
+        assert text.startswith("=== T ===")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        target = write_csv(
+            tmp_path / "out.csv", ["x", "y"], [[1, 2.5], [3, 4.5]]
+        )
+        with target.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["x", "y"], ["1", "2.5"], ["3", "4.5"]]
+
+    def test_creates_directories(self, tmp_path):
+        target = write_csv(tmp_path / "deep" / "dir" / "out.csv", ["a"], [[1]])
+        assert target.exists()
+
+
+class TestAsciiSeriesPlot:
+    def test_contains_marks_and_legend(self):
+        plot = ascii_series_plot(
+            {"up": [(0.0, 0.0), (1.0, 1.0)], "down": [(0.0, 1.0), (1.0, 0.0)]}
+        )
+        assert "o = up" in plot
+        assert "x = down" in plot
+        assert "o" in plot.splitlines()[0] + plot.splitlines()[-3]
+
+    def test_axis_annotations(self):
+        plot = ascii_series_plot({"s": [(0.0, 5.0), (2.0, 10.0)]})
+        assert "10.000" in plot
+        assert "5.000" in plot
+        assert "2.000" in plot
+
+    def test_flat_series_does_not_crash(self):
+        plot = ascii_series_plot({"flat": [(0.0, 1.0), (1.0, 1.0)]})
+        assert "flat" in plot
+
+    def test_title(self):
+        plot = ascii_series_plot({"s": [(0, 0), (1, 1)]}, title="My Plot")
+        assert plot.splitlines()[0] == "My Plot"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_series_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_series_plot({"s": []})
+        with pytest.raises(ConfigurationError):
+            ascii_series_plot({"s": [(0, 0)]}, width=2)
+
+
+class TestAsciiPhasePortrait:
+    def test_contains_trajectory_and_destination(self):
+        portrait = ascii_phase_portrait(paper_parameters(p=0.8, m=30), grid=15)
+        assert "*" in portrait
+        assert "@" in portrait
+        assert "(X,Y)" in portrait
+        assert "<- ESS" in portrait
+
+    def test_grid_bound(self):
+        with pytest.raises(ConfigurationError):
+            ascii_phase_portrait(paper_parameters(p=0.8, m=30), grid=3)

@@ -1,0 +1,150 @@
+"""Unit and property tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    attack_success_hypergeometric,
+    attack_success_iid,
+    iid_vs_exact_gap,
+    mean,
+    mean_estimate,
+    sample_std,
+    survival_probability,
+    wilson_interval,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAttackSuccessModels:
+    def test_iid_is_p_to_m(self):
+        assert attack_success_iid(0.8, 3) == pytest.approx(0.512)
+
+    def test_hypergeometric_known_value(self):
+        # 20 forged, 5 authentic, m=3: C(20,3)/C(25,3)
+        assert attack_success_hypergeometric(5, 20, 3) == pytest.approx(
+            1140 / 2300
+        )
+
+    def test_no_forged_means_no_success(self):
+        assert attack_success_hypergeometric(5, 0, 3) == 0.0
+
+    def test_all_forged_means_certain_success(self):
+        assert attack_success_hypergeometric(0, 10, 3) == 1.0
+
+    def test_buffers_cover_pool(self):
+        assert attack_success_hypergeometric(1, 9, 10) == 0.0
+
+    def test_fewer_forged_than_buffers(self):
+        assert attack_success_hypergeometric(5, 2, 3) == 0.0
+
+    def test_converges_to_iid(self):
+        """Large pools approach p^m (the paper's approximation)."""
+        for scale in (1, 10, 100):
+            gap = iid_vs_exact_gap(5 * scale, 20 * scale, 4)
+            assert gap >= -1e-12
+        assert iid_vs_exact_gap(500, 2000, 4) < iid_vs_exact_gap(5, 20, 4)
+
+    def test_survival_is_complement(self):
+        assert survival_probability(5, 20, 3) == pytest.approx(1 - 1140 / 2300)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            attack_success_iid(1.2, 3)
+        with pytest.raises(ConfigurationError):
+            attack_success_iid(0.5, 0)
+        with pytest.raises(ConfigurationError):
+            attack_success_hypergeometric(-1, 5, 2)
+        with pytest.raises(ConfigurationError):
+            attack_success_hypergeometric(0, 0, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60)
+    def test_hypergeometric_is_probability(self, authentic, forged, m):
+        value = attack_success_hypergeometric(authentic, forged, m)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60)
+    def test_iid_upper_bounds_exact(self, authentic, forged, m):
+        """Sampling without replacement can only help the defender."""
+        assert iid_vs_exact_gap(authentic, forged, m) >= -1e-12
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_std_known_value(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+
+    def test_std_single_value_is_zero(self):
+        assert sample_std([3.0]) == 0.0
+
+    def test_std_constant_is_zero(self):
+        assert sample_std([5.0] * 10) == 0.0
+
+
+class TestMeanEstimate:
+    def test_interval_contains_mean(self):
+        estimate = mean_estimate([1.0, 2.0, 3.0, 4.0])
+        assert estimate.low <= estimate.mean <= estimate.high
+
+    def test_interval_narrows_with_samples(self):
+        few = mean_estimate([1.0, 2.0, 3.0])
+        many = mean_estimate([1.0, 2.0, 3.0] * 10)
+        assert many.high - many.low < few.high - few.low
+
+    def test_higher_confidence_wider(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        c90 = mean_estimate(data, confidence=0.90)
+        c99 = mean_estimate(data, confidence=0.99)
+        assert c99.high - c99.low > c90.high - c90.low
+
+    def test_unknown_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_estimate([1.0, 2.0], confidence=0.5)
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_stays_in_unit_interval_at_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0.0 < high < 0.3
+        low, high = wilson_interval(20, 20)
+        assert 0.7 < low < 1.0
+        assert high == 1.0
+
+    def test_narrows_with_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(500, 1000)
+        assert large[1] - large[0] < small[1] - small[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 3)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 10, confidence=0.42)

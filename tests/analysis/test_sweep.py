@@ -1,0 +1,45 @@
+"""Unit tests for the sweep utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import open_interval_grid, sweep
+from repro.errors import ConfigurationError
+
+
+class TestOpenIntervalGrid:
+    def test_endpoints_pulled_in(self):
+        grid = open_interval_grid(0.0, 1.0, 5)
+        assert grid[0] > 0.0
+        assert grid[-1] < 1.0
+
+    def test_count(self):
+        assert len(open_interval_grid(0.0, 1.0, 7)) == 7
+
+    def test_monotone(self):
+        grid = open_interval_grid(0.0, 1.0, 10)
+        assert grid == sorted(grid)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            open_interval_grid(0.0, 1.0, 1)
+        with pytest.raises(ConfigurationError):
+            open_interval_grid(1.0, 0.0, 5)
+        with pytest.raises(ConfigurationError):
+            open_interval_grid(0.0, 0.001, 5, margin=0.01)
+
+
+class TestSweep:
+    def test_pairs_inputs_with_outputs(self):
+        result = sweep([1, 2, 3], lambda v: v * v)
+        assert result.inputs == (1, 2, 3)
+        assert result.outputs == (1, 4, 9)
+
+    def test_iterable_and_sized(self):
+        result = sweep([1, 2], str)
+        assert len(result) == 2
+        assert list(result) == [(1, "1"), (2, "2")]
+
+    def test_empty_sweep(self):
+        assert len(sweep([], lambda v: v)) == 0

@@ -1,0 +1,60 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import MacScheme, MicroMacScheme, OneWayFunction, standard_functions
+from repro.timesync import IntervalSchedule, LooseTimeSync, SecurityCondition
+
+SEED = b"test-seed"
+
+
+@pytest.fixture
+def functions():
+    """The standard one-way function family."""
+    return standard_functions()
+
+
+@pytest.fixture
+def owf():
+    """A fresh 80-bit one-way function."""
+    return OneWayFunction("F")
+
+
+@pytest.fixture
+def mac_scheme():
+    """The 80-bit MAC scheme."""
+    return MacScheme()
+
+
+@pytest.fixture
+def micro_scheme():
+    """The 24-bit μMAC scheme."""
+    return MicroMacScheme()
+
+
+@pytest.fixture
+def schedule():
+    """A unit-duration schedule starting at t=0."""
+    return IntervalSchedule(start=0.0, duration=1.0)
+
+
+@pytest.fixture
+def sync():
+    """A tight loose-sync bound (10 ms)."""
+    return LooseTimeSync(max_offset=0.01)
+
+
+@pytest.fixture
+def condition(schedule, sync):
+    """Security condition with disclosure delay 1."""
+    return SecurityCondition(schedule, sync, disclosure_delay=1)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG."""
+    return random.Random(12345)

@@ -1,0 +1,56 @@
+"""Golden-value regression tests for the crypto substrate.
+
+These pin exact outputs so a refactor cannot silently change the
+protocol: every buffered μMAC, every chain key, every CDM MAC in every
+recorded experiment depends on these bytes. If one of these tests
+fails, the change is wire-breaking — bump it consciously.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keychain import KeyChain, derive_seed_key
+from repro.crypto.mac import MacScheme, MicroMacScheme
+from repro.crypto.onewayfn import OneWayFunction, standard_functions
+
+
+class TestOneWayFunctionGolden:
+    def test_f_of_empty(self):
+        assert OneWayFunction("F")(b"").hex() == "0b11f3f01f5506c4057b"
+
+    def test_f_of_known_input(self):
+        assert OneWayFunction("F")(b"key-material").hex() == "97b36872a0e631023c67"
+
+    def test_family_separation_golden(self):
+        outputs = {
+            name: fn(b"x").hex() for name, fn in standard_functions().items()
+        }
+        assert outputs == {
+            "F": "fa7c67a3564d49f551e9",
+            "F0": "516f562940b4cfeddd5d",
+            "F1": "59aba4e91175b0496e59",
+            "F01": "4ebae94f8c0508686cca",
+            "H": "7914b8a4dd58732eae6f",
+        }
+
+
+class TestKeyChainGolden:
+    def test_seed_derivation(self):
+        assert derive_seed_key(b"seed", "chain").hex() == "b274b9c1fced97351bf5"
+
+    def test_chain_commitment(self):
+        chain = KeyChain(b"golden-seed", length=10)
+        assert chain.commitment.hex() == "735e124262868d6e78a7"
+
+    def test_chain_midpoint_key(self):
+        chain = KeyChain(b"golden-seed", length=10)
+        assert chain.key(5).hex() == "dd9b6e1547ccfdb3ed68"
+
+
+class TestMacGolden:
+    def test_mac_80_bit(self):
+        mac = MacScheme().compute(b"k" * 10, b"message")
+        assert mac.hex() == "ed45e57ff0ebd6826d6e"
+
+    def test_micro_mac_24_bit(self):
+        micro = MicroMacScheme().compute(b"local", b"\xaa" * 10)
+        assert micro.hex() == "31c250"

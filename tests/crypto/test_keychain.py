@@ -1,0 +1,287 @@
+"""Unit and property tests for one-way key chains."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keychain import (
+    KeyChain,
+    KeyChainAuthenticator,
+    TwoLevelKeyChain,
+    derive_seed_key,
+    recover_low_chain_key,
+)
+from repro.crypto.onewayfn import OneWayFunction, standard_functions
+from repro.errors import (
+    ConfigurationError,
+    KeyChainError,
+    KeyChainExhaustedError,
+    KeyVerificationError,
+)
+
+SEED = b"chain-test-seed"
+
+
+class TestDeriveSeedKey:
+    def test_deterministic(self):
+        assert derive_seed_key(SEED, "a") == derive_seed_key(SEED, "a")
+
+    def test_label_separates(self):
+        assert derive_seed_key(SEED, "a") != derive_seed_key(SEED, "b")
+
+    def test_width(self):
+        assert len(derive_seed_key(SEED, "a", key_bits=40)) == 5
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed_key(b"", "a")
+
+
+class TestKeyChain:
+    def test_chain_relation_holds_everywhere(self):
+        chain = KeyChain(SEED, length=20)
+        for i in range(20):
+            assert chain.key(i) == chain.function(chain.key(i + 1))
+
+    def test_commitment_is_key_zero(self):
+        chain = KeyChain(SEED, length=5)
+        assert chain.commitment == chain.key(0)
+
+    def test_length(self):
+        chain = KeyChain(SEED, length=7)
+        assert len(chain) == 7
+        assert chain.length == 7
+
+    def test_same_seed_same_chain(self):
+        a = KeyChain(SEED, length=5)
+        b = KeyChain(SEED, length=5)
+        assert a.key(3) == b.key(3)
+
+    def test_different_seeds_differ(self):
+        a = KeyChain(SEED, length=5)
+        b = KeyChain(b"other", length=5)
+        assert a.key(3) != b.key(3)
+
+    def test_label_separates_chains_from_one_seed(self):
+        a = KeyChain(SEED, length=5, label="one")
+        b = KeyChain(SEED, length=5, label="two")
+        assert a.key(1) != b.key(1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(KeyChainError):
+            KeyChain(SEED, length=5).key(-1)
+
+    def test_exhausted_index_rejected(self):
+        with pytest.raises(KeyChainExhaustedError):
+            KeyChain(SEED, length=5).key(6)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KeyChain(SEED, length=0)
+
+    def test_verify_true_across_gap(self):
+        chain = KeyChain(SEED, length=10)
+        assert chain.verify(chain.key(8), 8, chain.key(3), 3)
+
+    def test_verify_false_for_wrong_key(self):
+        chain = KeyChain(SEED, length=10)
+        assert not chain.verify(b"\x00" * 10, 8, chain.key(3), 3)
+
+    def test_verify_backwards_rejected(self):
+        chain = KeyChain(SEED, length=10)
+        with pytest.raises(KeyChainError):
+            chain.verify(chain.key(2), 2, chain.key(5), 5)
+
+    def test_derive_walks_back(self):
+        chain = KeyChain(SEED, length=10)
+        assert chain.derive(chain.key(9), 4) == chain.key(5)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=25)
+    def test_any_key_derives_commitment(self, length, index):
+        index = min(index, length)
+        chain = KeyChain(SEED, length=length)
+        assert chain.function.iterate(chain.key(index), index) == chain.commitment
+
+
+class TestKeyChainAuthenticator:
+    @pytest.fixture
+    def chain(self):
+        return KeyChain(SEED, length=20)
+
+    @pytest.fixture
+    def auth(self, chain):
+        return KeyChainAuthenticator(chain.commitment, chain.function)
+
+    def test_initial_anchor_is_commitment(self, chain, auth):
+        assert auth.trusted_index == 0
+        assert auth.trusted_key == chain.commitment
+
+    def test_sequential_disclosures(self, chain, auth):
+        for i in range(1, 6):
+            assert auth.authenticate(chain.key(i), i)
+        assert auth.trusted_index == 5
+
+    def test_gap_tolerated(self, chain, auth):
+        assert auth.authenticate(chain.key(7), 7)
+        assert auth.trusted_index == 7
+
+    def test_forged_key_rejected(self, auth):
+        assert not auth.authenticate(b"\xde\xad" * 5, 3)
+        assert auth.trusted_index == 0
+
+    def test_forged_rejection_keeps_anchor(self, chain, auth):
+        auth.authenticate(chain.key(4), 4)
+        assert not auth.authenticate(b"\x00" * 10, 9)
+        assert auth.trusted_index == 4
+        assert auth.trusted_key == chain.key(4)
+
+    def test_redisclosure_idempotent(self, chain, auth):
+        assert auth.authenticate(chain.key(3), 3)
+        assert auth.authenticate(chain.key(3), 3)
+        assert auth.trusted_index == 3
+
+    def test_older_disclosure_rejected(self, chain, auth):
+        auth.authenticate(chain.key(5), 5)
+        assert not auth.authenticate(chain.key(2), 2)
+
+    def test_max_gap_enforced(self, chain):
+        auth = KeyChainAuthenticator(chain.commitment, chain.function, max_gap=3)
+        with pytest.raises(KeyVerificationError):
+            auth.authenticate(chain.key(10), 10)
+
+    def test_max_gap_allows_within_bound(self, chain):
+        auth = KeyChainAuthenticator(chain.commitment, chain.function, max_gap=3)
+        assert auth.authenticate(chain.key(3), 3)
+
+    def test_derive_older(self, chain, auth):
+        auth.authenticate(chain.key(9), 9)
+        assert auth.derive_older(4) == chain.key(4)
+
+    def test_derive_newer_rejected(self, chain, auth):
+        auth.authenticate(chain.key(3), 3)
+        with pytest.raises(KeyChainError):
+            auth.derive_older(4)
+
+    def test_empty_commitment_rejected(self, chain):
+        with pytest.raises(ConfigurationError):
+            KeyChainAuthenticator(b"", chain.function)
+
+    @given(st.lists(st.integers(min_value=1, max_value=15), min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_random_disclosure_orders_never_corrupt_anchor(self, indices):
+        chain = KeyChain(SEED, length=15)
+        auth = KeyChainAuthenticator(chain.commitment, chain.function)
+        highest = 0
+        for i in indices:
+            ok = auth.authenticate(chain.key(i), i)
+            assert ok == (i >= highest)
+            highest = max(highest, i)
+            assert auth.trusted_key == chain.key(auth.trusted_index)
+
+
+class TestTwoLevelKeyChain:
+    @pytest.fixture
+    def fns(self):
+        return standard_functions()
+
+    def test_low_chain_relation(self, fns):
+        chain = TwoLevelKeyChain(SEED, high_length=5, low_length=6, functions=fns)
+        for j in range(6):
+            assert chain.low_key(2, j) == fns["F1"](chain.low_key(2, j + 1))
+
+    def test_original_wiring_anchor(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=False, functions=fns)
+        assert chain.low_key(2, 4) == fns["F01"](chain.high_key(3))
+
+    def test_eftp_wiring_anchor(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=True, functions=fns)
+        assert chain.low_key(2, 4) == fns["F01"](chain.high_key(2))
+
+    def test_wirings_produce_different_low_chains(self, fns):
+        a = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=False, functions=fns)
+        b = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=True, functions=fns)
+        assert a.low_key(2, 1) != b.low_key(2, 1)
+
+    def test_last_low_chain_needs_next_high_key_original(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=False, functions=fns)
+        with pytest.raises(KeyChainExhaustedError):
+            chain.low_commitment(5)
+
+    def test_last_low_chain_available_under_eftp(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, eftp_wiring=True, functions=fns)
+        assert chain.low_commitment(5)
+
+    def test_low_index_bounds(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, functions=fns)
+        with pytest.raises(KeyChainError):
+            chain.low_key(2, 5)
+        with pytest.raises(KeyChainError):
+            chain.low_key(2, -1)
+
+    def test_high_interval_bounds(self, fns):
+        chain = TwoLevelKeyChain(SEED, 5, 4, functions=fns)
+        with pytest.raises(KeyChainError):
+            chain.low_key(0, 1)
+        with pytest.raises(KeyChainError):
+            chain.low_key(6, 1)
+
+    def test_recover_low_commitment_original(self, fns):
+        chain = TwoLevelKeyChain(SEED, 6, 4, eftp_wiring=False, functions=fns)
+        recovered = chain.recover_low_commitment(2, chain.high_key(5), 5)
+        assert recovered == chain.low_commitment(2)
+
+    def test_recover_low_commitment_eftp(self, fns):
+        chain = TwoLevelKeyChain(SEED, 6, 4, eftp_wiring=True, functions=fns)
+        recovered = chain.recover_low_commitment(2, chain.high_key(5), 5)
+        assert recovered == chain.low_commitment(2)
+
+    def test_recovery_latency_difference(self, fns):
+        """EFTP recovers chain i from K_i; the original wiring needs K_{i+1}."""
+        original = TwoLevelKeyChain(SEED, 6, 4, eftp_wiring=False, functions=fns)
+        eftp = TwoLevelKeyChain(SEED, 6, 4, eftp_wiring=True, functions=fns)
+        assert eftp.recover_low_commitment(3, eftp.high_key(3), 3)
+        with pytest.raises(KeyChainError):
+            original.recover_low_commitment(3, original.high_key(3), 3)
+
+    def test_bad_dimensions_rejected(self, fns):
+        with pytest.raises(ConfigurationError):
+            TwoLevelKeyChain(SEED, 0, 4, functions=fns)
+        with pytest.raises(ConfigurationError):
+            TwoLevelKeyChain(SEED, 4, 0, functions=fns)
+
+
+class TestRecoverLowChainKey:
+    @pytest.fixture
+    def fns(self):
+        return standard_functions()
+
+    def test_recovers_arbitrary_sub_key(self, fns):
+        chain = TwoLevelKeyChain(SEED, 6, 5, eftp_wiring=True, functions=fns)
+        got = recover_low_chain_key(
+            chain.high_key(4), 4, 3, 2, 5,
+            fns["F0"], fns["F1"], fns["F01"], eftp_wiring=True,
+        )
+        assert got == chain.low_key(3, 2)
+
+    def test_anchor_in_future_rejected(self, fns):
+        chain = TwoLevelKeyChain(SEED, 6, 5, functions=fns)
+        with pytest.raises(KeyChainError):
+            recover_low_chain_key(
+                chain.high_key(2), 2, 3, 0, 5,
+                fns["F0"], fns["F1"], fns["F01"], eftp_wiring=False,
+            )
+
+    def test_bad_indices_rejected(self, fns):
+        with pytest.raises(KeyChainError):
+            recover_low_chain_key(
+                b"\x00" * 10, 5, 0, 0, 5,
+                fns["F0"], fns["F1"], fns["F01"], eftp_wiring=False,
+            )
+        with pytest.raises(KeyChainError):
+            recover_low_chain_key(
+                b"\x00" * 10, 5, 2, 9, 5,
+                fns["F0"], fns["F1"], fns["F01"], eftp_wiring=False,
+            )

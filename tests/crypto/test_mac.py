@@ -1,0 +1,119 @@
+"""Unit and property tests for the MAC / μMAC schemes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.mac import (
+    DEFAULT_MAC_BITS,
+    INDEX_BITS,
+    MESSAGE_BITS,
+    MICRO_MAC_BITS,
+    MacScheme,
+    MicroMacScheme,
+)
+from repro.errors import ConfigurationError
+
+KEY = b"k" * 10
+LOCAL = b"local-secret"
+
+
+class TestPaperConstants:
+    def test_mac_is_80_bits(self):
+        assert DEFAULT_MAC_BITS == 80
+
+    def test_micro_mac_is_24_bits(self):
+        assert MICRO_MAC_BITS == 24
+
+    def test_message_is_200_bits(self):
+        assert MESSAGE_BITS == 200
+
+    def test_index_is_32_bits(self):
+        assert INDEX_BITS == 32
+
+    def test_dap_record_is_56_bits(self):
+        assert MICRO_MAC_BITS + INDEX_BITS == 56
+
+    def test_classic_record_is_280_bits(self):
+        assert MESSAGE_BITS + DEFAULT_MAC_BITS == 280
+
+
+class TestMacScheme:
+    def test_output_width(self, mac_scheme):
+        assert len(mac_scheme.compute(KEY, b"msg")) == 10
+
+    def test_verify_roundtrip(self, mac_scheme):
+        mac = mac_scheme.compute(KEY, b"msg")
+        assert mac_scheme.verify(KEY, b"msg", mac)
+
+    def test_verify_rejects_wrong_message(self, mac_scheme):
+        mac = mac_scheme.compute(KEY, b"msg")
+        assert not mac_scheme.verify(KEY, b"other", mac)
+
+    def test_verify_rejects_wrong_key(self, mac_scheme):
+        mac = mac_scheme.compute(KEY, b"msg")
+        assert not mac_scheme.verify(b"x" * 10, b"msg", mac)
+
+    def test_verify_rejects_truncated_tag(self, mac_scheme):
+        mac = mac_scheme.compute(KEY, b"msg")
+        assert not mac_scheme.verify(KEY, b"msg", mac[:-1])
+
+    def test_empty_key_rejected(self, mac_scheme):
+        with pytest.raises(ConfigurationError):
+            mac_scheme.compute(b"", b"msg")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MacScheme(mac_bits=0)
+        with pytest.raises(ConfigurationError):
+            MacScheme(mac_bits=300)
+
+    def test_custom_width(self):
+        scheme = MacScheme(mac_bits=32)
+        assert len(scheme.compute(KEY, b"m")) == 4
+
+    @given(st.binary(min_size=1, max_size=16), st.binary(max_size=64))
+    def test_roundtrip_property(self, key, message):
+        scheme = MacScheme()
+        assert scheme.verify(key, message, scheme.compute(key, message))
+
+    @given(st.binary(max_size=32), st.binary(max_size=32))
+    def test_distinct_messages_distinct_macs(self, a, b):
+        scheme = MacScheme()
+        if a != b:
+            assert scheme.compute(KEY, a) != scheme.compute(KEY, b)
+
+
+class TestMicroMacScheme:
+    def test_output_width(self, micro_scheme):
+        assert len(micro_scheme.compute(LOCAL, b"\xab" * 10)) == 3
+
+    def test_verify_roundtrip(self, micro_scheme):
+        mac = b"\xab" * 10
+        micro = micro_scheme.compute(LOCAL, mac)
+        assert micro_scheme.verify(LOCAL, mac, micro)
+
+    def test_local_key_matters(self, micro_scheme):
+        mac = b"\xab" * 10
+        assert micro_scheme.compute(LOCAL, mac) != micro_scheme.compute(b"other", mac)
+
+    def test_empty_local_key_rejected(self, micro_scheme):
+        with pytest.raises(ConfigurationError):
+            micro_scheme.compute(b"", b"\xab" * 10)
+
+    def test_micro_and_full_mac_schemes_are_independent(self, mac_scheme):
+        """The μMAC of a MAC must not coincide with a truncated MAC of it."""
+        micro = MicroMacScheme(micro_mac_bits=80)
+        mac = mac_scheme.compute(KEY, b"m")
+        assert micro.compute(KEY, mac) != mac_scheme.compute(KEY, mac)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroMacScheme(micro_mac_bits=0)
+
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    def test_rehash_deterministic(self, local, mac):
+        scheme = MicroMacScheme()
+        assert scheme.compute(local, mac) == scheme.compute(local, mac)

@@ -1,0 +1,102 @@
+"""Unit tests for the adaptive game-guided defense policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.adaptive import AdaptiveDefense, AttackEstimator
+from repro.game.parameters import paper_parameters
+
+
+class TestAttackEstimator:
+    def test_initial_prior(self):
+        assert AttackEstimator(initial=0.3).estimate == 0.3
+
+    def test_converges_to_constant_signal(self):
+        estimator = AttackEstimator(alpha=0.3, initial=0.0)
+        for _ in range(60):
+            estimator.observe_fraction(0.8)
+        assert estimator.estimate == pytest.approx(0.8, abs=1e-3)
+
+    def test_observe_interval_samples_forged_fraction(self):
+        estimator = AttackEstimator(alpha=1.0, initial=0.0)
+        estimator.observe_interval(stored_records=4, matched_records=1)
+        assert estimator.estimate == pytest.approx(0.75)
+
+    def test_empty_interval_is_ignored(self):
+        estimator = AttackEstimator(initial=0.4)
+        estimator.observe_interval(0, 0)
+        assert estimator.estimate == 0.4
+        assert estimator.observations == 0
+
+    def test_observation_counter(self):
+        estimator = AttackEstimator()
+        estimator.observe_fraction(0.5)
+        estimator.observe_interval(2, 1)
+        assert estimator.observations == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AttackEstimator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            AttackEstimator(initial=1.5)
+        estimator = AttackEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.observe_fraction(1.5)
+        with pytest.raises(ConfigurationError):
+            estimator.observe_interval(1, 2)
+        with pytest.raises(ConfigurationError):
+            estimator.observe_interval(-1, 0)
+
+
+class TestAdaptiveDefense:
+    @pytest.fixture
+    def base(self):
+        return paper_parameters(p=0.5, m=1)
+
+    def test_recommendation_follows_estimate(self, base):
+        low = AdaptiveDefense(base, AttackEstimator(alpha=1.0, initial=0.3))
+        high = AdaptiveDefense(base, AttackEstimator(alpha=1.0, initial=0.9))
+        assert low.recommended_buffers() < high.recommended_buffers()
+
+    def test_matches_direct_optimization(self, base):
+        from repro.game.optimizer import BufferOptimizer
+
+        policy = AdaptiveDefense(base, AttackEstimator(alpha=1.0, initial=0.8))
+        direct = BufferOptimizer(base.with_p(0.8)).optimize()
+        assert policy.recommended_buffers() == direct.optimal_m
+
+    def test_estimate_snapped_to_grid(self, base):
+        policy = AdaptiveDefense(
+            base, AttackEstimator(alpha=1.0, initial=0.8034), p_resolution=0.01
+        )
+        assert policy.current_p == pytest.approx(0.80)
+
+    def test_equilibrium_row_is_consistent(self, base):
+        policy = AdaptiveDefense(base, AttackEstimator(alpha=1.0, initial=0.8))
+        row = policy.equilibrium()
+        assert row.m == policy.recommended_buffers()
+        assert row.x == policy.defense_probability()
+        assert row.y == policy.expected_attacker_share()
+        assert policy.ess_label() is row.ess_type
+
+    def test_adapts_after_new_observations(self, base):
+        estimator = AttackEstimator(alpha=1.0, initial=0.2)
+        policy = AdaptiveDefense(base, estimator)
+        quiet_m = policy.recommended_buffers()
+        estimator.observe_fraction(0.9)
+        assert policy.recommended_buffers() > quiet_m
+
+    def test_decide_defend_matches_share(self, base):
+        policy = AdaptiveDefense(base, AttackEstimator(alpha=1.0, initial=0.8))
+        share = policy.defense_probability()
+        rng = random.Random(0)
+        hits = sum(policy.decide_defend(rng) for _ in range(4000))
+        assert hits / 4000 == pytest.approx(share, abs=0.03)
+
+    def test_validation(self, base):
+        with pytest.raises(ConfigurationError):
+            AdaptiveDefense(base, p_resolution=0.0)

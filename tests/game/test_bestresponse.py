@@ -1,0 +1,85 @@
+"""Tests for best-response dynamics and the §V-A model-choice argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.bestresponse import BestResponseDynamics
+from repro.game.ess import realized_ess
+from repro.game.parameters import paper_parameters
+
+
+class TestMechanics:
+    def test_best_responses_match_payoff_signs(self):
+        params = paper_parameters(p=0.8, m=5)
+        dynamics = BestResponseDynamics(params)
+        # With nobody attacking, buffers are pure cost -> don't defend;
+        # attacking a half-defended fleet is profitable -> attack.
+        defender, _ = dynamics.best_responses(0.5, 0.0)
+        assert defender == 0
+        _, attacker = dynamics.best_responses(0.5, 0.5)
+        assert attacker == 1
+        # At (0, 0) the defender's share-scaled cost vanishes (tie) but
+        # attacking an undefended fleet pays Ra outright.
+        assert dynamics.best_responses(0.0, 0.0) == (None, 1)
+
+    def test_pure_fixed_point_converges(self):
+        """m=5: (1,1) is a dominant-strategy equilibrium — even
+        classical best response finds it."""
+        params = paper_parameters(p=0.8, m=5)
+        trajectory = BestResponseDynamics(params).run()
+        assert trajectory.converged
+        assert trajectory.final == (1.0, 1.0)
+
+    def test_run_budget_respected(self):
+        params = paper_parameters(p=0.8, m=30)
+        trajectory = BestResponseDynamics(params, adjustment=0.31).run(max_steps=25)
+        assert trajectory.steps <= 25
+
+    def test_validation(self):
+        params = paper_parameters(p=0.8, m=5)
+        with pytest.raises(ConfigurationError):
+            BestResponseDynamics(params, adjustment=0.0)
+        with pytest.raises(ConfigurationError):
+            BestResponseDynamics(params).run(max_steps=0)
+
+
+class TestSectionVAArgument:
+    """§V-A: classical rationality fails where the ESS is mixed; the
+    replicator dynamics converge everywhere. Measured, not asserted."""
+
+    @pytest.mark.parametrize("m", [14, 30, 70])
+    def test_classical_best_response_cycles_in_mixed_regimes(self, m):
+        params = paper_parameters(p=0.8, m=m, max_buffers=100)
+        trajectory = BestResponseDynamics(params).run(max_steps=500)
+        assert not trajectory.converged
+        assert trajectory.cycles
+
+    @pytest.mark.parametrize("m", [14, 30, 70])
+    def test_smoothing_does_not_rescue_best_response(self, m):
+        params = paper_parameters(p=0.8, m=m, max_buffers=100)
+        trajectory = BestResponseDynamics(params, adjustment=0.3).run(
+            max_steps=2000
+        )
+        assert not trajectory.converged
+
+    @pytest.mark.parametrize("m", [14, 30, 70])
+    def test_replicator_converges_where_best_response_cycles(self, m):
+        params = paper_parameters(p=0.8, m=m, max_buffers=100)
+        point, trajectory = realized_ess(params)
+        assert trajectory.converged
+        assert point is not None
+
+    def test_cycle_orbits_the_ess(self):
+        """The best-response cycle straddles the replicator's interior
+        equilibrium — rational agents orbit what evolving agents find."""
+        params = paper_parameters(p=0.8, m=30)
+        point, _ = realized_ess(params)
+        trajectory = BestResponseDynamics(params, adjustment=0.3).run(
+            max_steps=2000
+        )
+        tail_x = trajectory.xs[-50:]
+        tail_y = trajectory.ys[-50:]
+        assert tail_x.min() - 0.05 <= point.x <= tail_x.max() + 0.05
+        assert tail_y.min() - 0.05 <= point.y <= tail_y.max() + 0.05

@@ -1,0 +1,189 @@
+"""Unit tests for fixed points and ESS classification (§V-E, Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.ess import (
+    EssType,
+    Stability,
+    edge_x_prime,
+    edge_y_prime,
+    fixed_points,
+    interior_fixed_point,
+    label_point,
+    realized_ess,
+    stable_points,
+)
+from repro.game.parameters import paper_parameters
+from repro.game.replicator import ReplicatorDynamics
+
+
+class TestCandidateFormulas:
+    def test_interior_formula(self):
+        """§V-E case 5 closed form at p=0.8, m=30."""
+        params = paper_parameters(p=0.8, m=30)
+        q = 1 - 0.8 ** 30
+        denom = 20 * 4 * 30 * 0.8 + q * q * 200 ** 2
+        x, y = interior_fixed_point(params)
+        assert x == pytest.approx(q * 200 ** 2 / denom)
+        assert y == pytest.approx(4 * 30 * 200 / denom)
+
+    def test_interior_is_a_rest_point(self):
+        params = paper_parameters(p=0.8, m=30)
+        dynamics = ReplicatorDynamics(params)
+        x, y = interior_fixed_point(params)
+        dx, dy = dynamics.derivatives(x, y)
+        assert abs(dx) < 1e-9
+        assert abs(dy) < 1e-9
+
+    def test_interior_leaves_square_for_large_m(self):
+        assert interior_fixed_point(paper_parameters(p=0.8, m=60, max_buffers=100)) is None
+
+    def test_edge_y_prime_formula(self):
+        params = paper_parameters(p=0.8, m=14)
+        assert edge_y_prime(params) == pytest.approx(0.8 ** 14 * 200 / (20 * 0.8))
+
+    def test_edge_y_prime_is_rest_point(self):
+        params = paper_parameters(p=0.8, m=14)
+        dynamics = ReplicatorDynamics(params)
+        dx, dy = dynamics.derivatives(1.0, edge_y_prime(params))
+        assert dx == 0.0
+        assert abs(dy) < 1e-9
+
+    def test_edge_y_prime_outside_for_small_m(self):
+        # p^m Ra / (k1 xa) > 1 for m <= 11 at p = 0.8
+        assert edge_y_prime(paper_parameters(p=0.8, m=5)) is None
+
+    def test_edge_x_prime_formula(self):
+        params = paper_parameters(p=0.8, m=70, max_buffers=100)
+        assert edge_x_prime(params) == pytest.approx(
+            (1 - 0.8 ** 70) * 200 / (4 * 70)
+        )
+
+    def test_edge_x_prime_is_rest_point(self):
+        params = paper_parameters(p=0.8, m=70, max_buffers=100)
+        dynamics = ReplicatorDynamics(params)
+        dx, dy = dynamics.derivatives(edge_x_prime(params), 1.0)
+        assert abs(dx) < 1e-9
+        assert dy == 0.0
+
+    def test_edge_x_prime_outside_for_small_m(self):
+        assert edge_x_prime(paper_parameters(p=0.8, m=10)) is None
+
+
+class TestClassification:
+    def test_corners_always_candidates(self):
+        points = fixed_points(paper_parameters(p=0.8, m=10))
+        types = {point.ess_type for point in points}
+        assert {
+            EssType.CORNER_00,
+            EssType.CORNER_01,
+            EssType.CORNER_10,
+            EssType.CORNER_11,
+        } <= types
+
+    def test_corner_00_never_stable_under_paper_assumptions(self):
+        """§V-E case 1: Ra > Ca means (0,0) cannot be ESS."""
+        for m in (1, 10, 30, 60):
+            points = fixed_points(paper_parameters(p=0.8, m=m, max_buffers=100))
+            corner = next(p for p in points if p.ess_type is EssType.CORNER_00)
+            assert corner.stability is not Stability.STABLE
+
+    def test_corner_10_never_stable(self):
+        """§V-E case 2: (1,0) cannot be ESS."""
+        for m in (1, 10, 30, 60):
+            points = fixed_points(paper_parameters(p=0.8, m=m, max_buffers=100))
+            corner = next(p for p in points if p.ess_type is EssType.CORNER_10)
+            assert corner.stability is not Stability.STABLE
+
+    def test_exactly_one_stable_point_in_paper_regimes(self):
+        for m in (5, 14, 30, 70):
+            stable = stable_points(paper_parameters(p=0.8, m=m, max_buffers=100))
+            assert len(stable) == 1
+
+    def test_paper_regime_small_m_is_11(self):
+        stable = stable_points(paper_parameters(p=0.8, m=5))
+        assert stable[0].ess_type is EssType.CORNER_11
+
+    def test_paper_regime_medium_m_is_1_y(self):
+        stable = stable_points(paper_parameters(p=0.8, m=14))
+        assert stable[0].ess_type is EssType.EDGE_1Y
+
+    def test_paper_regime_interior(self):
+        stable = stable_points(paper_parameters(p=0.8, m=30))
+        assert stable[0].ess_type is EssType.INTERIOR
+
+    def test_paper_regime_large_m_is_x_1(self):
+        stable = stable_points(paper_parameters(p=0.8, m=70, max_buffers=100))
+        assert stable[0].ess_type is EssType.EDGE_X1
+
+    def test_interior_is_spiral_sink(self):
+        """The paper observes spiral convergence: complex eigenvalues
+        with negative real parts."""
+        points = fixed_points(paper_parameters(p=0.8, m=30))
+        interior = next(p for p in points if p.ess_type is EssType.INTERIOR)
+        assert interior.stability is Stability.STABLE
+        assert all(abs(e.imag) > 0 for e in interior.eigenvalues)
+
+    def test_regime_boundaries_match_paper(self):
+        """(1,1) stable up to m=11, (1,Y') from m=12 (paper §VI-B-2)."""
+        stable_11 = stable_points(paper_parameters(p=0.8, m=11))
+        stable_12 = stable_points(paper_parameters(p=0.8, m=12))
+        assert stable_11[0].ess_type is EssType.CORNER_11
+        assert stable_12[0].ess_type is EssType.EDGE_1Y
+
+    def test_regime_boundary_54_55(self):
+        """Interior up to m=54, (X',1) from m=55 (paper §VI-B-2)."""
+        stable_54 = stable_points(paper_parameters(p=0.8, m=54, max_buffers=100))
+        stable_55 = stable_points(paper_parameters(p=0.8, m=55, max_buffers=100))
+        assert stable_54[0].ess_type is EssType.INTERIOR
+        assert stable_55[0].ess_type is EssType.EDGE_X1
+
+
+class TestRealizedEss:
+    def test_reaches_1_1_fast_for_small_m(self):
+        point, trajectory = realized_ess(paper_parameters(p=0.8, m=5))
+        assert point is not None
+        assert point.ess_type is EssType.CORNER_11
+        assert trajectory.converged
+
+    def test_reaches_1_y_for_medium_m(self):
+        point, _ = realized_ess(paper_parameters(p=0.8, m=14))
+        assert point.ess_type is EssType.EDGE_1Y
+        assert point.y == pytest.approx(0.55, abs=0.01)
+
+    def test_reaches_interior_spiral(self):
+        from repro.analysis.trajectories import is_spiral
+
+        point, trajectory = realized_ess(paper_parameters(p=0.8, m=30))
+        assert point.ess_type is EssType.INTERIOR
+        assert is_spiral(trajectory)
+
+    def test_reaches_x_1_for_large_m(self):
+        point, _ = realized_ess(paper_parameters(p=0.8, m=70, max_buffers=100))
+        assert point.ess_type is EssType.EDGE_X1
+        assert point.x == pytest.approx(200 / (4 * 70), abs=1e-6)
+
+    def test_paper_y_044_around_m_15(self):
+        """§VI-B-2: "Y converges to 0.44" in the (1, Y') regime —
+        matched at m = 15."""
+        point, _ = realized_ess(paper_parameters(p=0.8, m=15))
+        assert point.y == pytest.approx(0.44, abs=0.01)
+
+
+class TestLabelPoint:
+    def test_labels_known_points(self):
+        params = paper_parameters(p=0.8, m=30)
+        x, y = interior_fixed_point(params)
+        assert label_point(params, x, y) is EssType.INTERIOR
+        assert label_point(params, 1.0, 1.0) is EssType.CORNER_11
+
+    def test_unknown_point_is_none(self):
+        params = paper_parameters(p=0.8, m=30)
+        assert label_point(params, 0.5, 0.5, tol=1e-3) is None
+
+    def test_out_of_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            label_point(paper_parameters(p=0.8, m=30), 1.5, 0.5)

@@ -1,0 +1,152 @@
+"""Unit tests for Algorithm 3 and the cost models (§V-F, §VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType
+from repro.game.optimizer import (
+    BufferOptimizer,
+    EquilibriumSolver,
+    defense_cost,
+    naive_defense_cost,
+)
+from repro.game.parameters import paper_parameters
+
+
+class TestDefenseCost:
+    def test_formula(self):
+        """E = k2 m X^2 + [1 - (1-p^m) X] Ra Y."""
+        params = paper_parameters(p=0.8, m=10)
+        q = 1 - 0.8 ** 10
+        x, y = 0.7, 0.4
+        expected = 4 * 10 * x * x + (1 - q * x) * 200 * y
+        assert defense_cost(params, x, y) == pytest.approx(expected)
+
+    def test_no_attack_no_defense_is_free(self):
+        assert defense_cost(paper_parameters(p=0.8, m=10), 0.0, 0.0) == 0.0
+
+    def test_cost_at_x_prime_1_equals_ra(self):
+        """At the (X', 1) equilibrium the algebra collapses to E = Ra —
+        the 'give up' cost plateau behind the paper's p > 0.94 regime."""
+        from repro.game.ess import edge_x_prime
+
+        params = paper_parameters(p=0.99, m=40)
+        x_prime = edge_x_prime(params)
+        assert defense_cost(params, x_prime, 1.0) == pytest.approx(200.0)
+
+
+class TestNaiveCost:
+    def test_formula(self):
+        """N = k2 M + p^M Ra Y' with Y' from the maxed game."""
+        params = paper_parameters(p=0.9, m=1)
+        p50 = 0.9 ** 50
+        y_prime = min(p50 * 200 / (20 * 0.9), 1.0)
+        assert naive_defense_cost(params) == pytest.approx(4 * 50 + p50 * 200 * y_prime)
+
+    def test_approaches_k2_m_for_weak_attack(self):
+        assert naive_defense_cost(paper_parameters(p=0.3, m=1)) == pytest.approx(
+            200.0, abs=1e-6
+        )
+
+    def test_grows_sharply_at_extreme_attack(self):
+        mild = naive_defense_cost(paper_parameters(p=0.9, m=1))
+        extreme = naive_defense_cost(paper_parameters(p=0.99, m=1))
+        assert extreme > mild + 50
+
+
+class TestEquilibriumSolver:
+    def test_analytic_route_for_unique_stable_point(self):
+        solver = EquilibriumSolver()
+        x, y, label = solver.solve(paper_parameters(p=0.8, m=30))
+        assert label is EssType.INTERIOR
+        assert 0 < x < 1 and 0 < y < 1
+
+    def test_solution_is_rest_point(self):
+        from repro.game.replicator import ReplicatorDynamics
+
+        params = paper_parameters(p=0.8, m=14)
+        x, y, _ = EquilibriumSolver().solve(params)
+        dx, dy = ReplicatorDynamics(params).derivatives(x, y)
+        assert abs(dx) + abs(dy) < 1e-8
+
+
+class TestBufferOptimizer:
+    def test_paper_sweep_m13_at_p08(self):
+        """At p = 0.8 the cost-optimal buffer count is 13 (argmin)."""
+        result = BufferOptimizer(paper_parameters(p=0.8, m=1)).optimize()
+        assert result.optimal_m == 13
+
+    def test_costs_u_shaped_at_p08(self):
+        result = BufferOptimizer(paper_parameters(p=0.8, m=1)).optimize()
+        costs = [row.cost for row in result.rows]
+        best = costs.index(min(costs))
+        assert all(costs[i] >= costs[i + 1] - 1e-9 for i in range(best))
+        assert all(costs[i] <= costs[i + 1] + 1e-9 for i in range(best, len(costs) - 1))
+
+    def test_optimal_m_increases_with_p(self):
+        """Fig. 7's main trend."""
+        optima = [
+            BufferOptimizer(paper_parameters(p=p, m=1)).optimize().optimal_m
+            for p in (0.3, 0.5, 0.8, 0.9)
+        ]
+        assert optima == sorted(optima)
+        assert optima[0] < optima[-1]
+
+    def test_paper_selection_saturates_at_high_p(self):
+        """Fig. 7's jump to m ≈ M for p > 0.94, reproduced by the
+        published running-min loop (the (X',1) cost plateau keeps
+        triggering its `Em < Em-1` update)."""
+        argmin = BufferOptimizer(paper_parameters(p=0.97, m=1)).optimize(
+            selection="argmin"
+        )
+        paper = BufferOptimizer(paper_parameters(p=0.97, m=1)).optimize(
+            selection="paper"
+        )
+        assert paper.optimal_m > 30
+        assert argmin.optimal_m < 25
+        # the bug costs real money:
+        assert paper.optimal_cost >= argmin.optimal_cost
+
+    def test_selections_agree_below_crossover(self):
+        for p in (0.5, 0.8, 0.9):
+            opt = BufferOptimizer(paper_parameters(p=p, m=1))
+            assert (
+                opt.optimize(selection="argmin").optimal_m
+                == opt.optimize(selection="paper").optimal_m
+            )
+
+    def test_game_cost_beats_naive_everywhere(self):
+        """Fig. 8's claim, E <= N, under both selection rules."""
+        for p in (0.2, 0.5, 0.8, 0.9, 0.95, 0.99):
+            base = paper_parameters(p=p, m=1)
+            naive = naive_defense_cost(base)
+            for selection in ("argmin", "paper"):
+                result = BufferOptimizer(base).optimize(selection=selection)
+                assert result.optimal_cost <= naive + 1e-6
+
+    def test_rows_cover_sweep(self):
+        result = BufferOptimizer(paper_parameters(p=0.8, m=1)).optimize(
+            m_min=3, m_max=7
+        )
+        assert [row.m for row in result.rows] == [3, 4, 5, 6, 7]
+
+    def test_row_for_lookup(self):
+        result = BufferOptimizer(paper_parameters(p=0.8, m=1)).optimize()
+        assert result.row_for(5).m == 5
+        with pytest.raises(ConfigurationError):
+            result.row_for(400)
+
+    def test_evaluate_is_cached(self):
+        optimizer = BufferOptimizer(paper_parameters(p=0.8, m=1))
+        assert optimizer.evaluate(10) is optimizer.evaluate(10)
+
+    def test_bad_arguments(self):
+        optimizer = BufferOptimizer(paper_parameters(p=0.8, m=1))
+        with pytest.raises(ConfigurationError):
+            optimizer.optimize(m_min=0)
+        with pytest.raises(ConfigurationError):
+            optimizer.optimize(m_min=5, m_max=3)
+        with pytest.raises(ConfigurationError):
+            optimizer.optimize(selection="greedy")

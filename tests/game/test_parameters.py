@@ -1,0 +1,99 @@
+"""Unit tests for the game-parameter model (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import (
+    PAPER_K1,
+    PAPER_K2,
+    PAPER_MAX_BUFFERS,
+    PAPER_RA,
+    GameParameters,
+    paper_parameters,
+)
+
+
+class TestPaperConstants:
+    def test_evaluation_setting(self):
+        assert (PAPER_RA, PAPER_K1, PAPER_K2) == (200.0, 20.0, 4.0)
+
+    def test_buffer_cap_is_50(self):
+        assert PAPER_MAX_BUFFERS == 50
+
+    def test_paper_parameters_builder(self):
+        params = paper_parameters(p=0.8, m=10)
+        assert params.ra == 200.0
+        assert params.k1 == 20.0
+        assert params.k2 == 4.0
+        assert params.p == 0.8
+        assert params.m == 10
+
+    def test_paper_setting_satisfies_assumptions(self):
+        assert paper_parameters(p=0.8, m=10).satisfies_paper_assumptions
+
+
+class TestDerivedQuantities:
+    def test_p_equals_xa(self):
+        params = paper_parameters(p=0.3, m=5)
+        assert params.xa == 0.3
+
+    def test_ld_equals_ra(self):
+        assert paper_parameters(p=0.3, m=5).ld == 200.0
+
+    def test_attack_success_probability(self):
+        params = paper_parameters(p=0.5, m=3)
+        assert params.attack_success_probability == pytest.approx(0.125)
+
+    def test_defense_success_complement(self):
+        params = paper_parameters(p=0.5, m=3)
+        assert params.defense_success_probability == pytest.approx(0.875)
+
+    def test_attacker_cost_scales_with_y(self):
+        params = paper_parameters(p=0.8, m=5)
+        assert params.attacker_cost(0.5) == pytest.approx(20 * 0.8 * 0.5)
+        assert params.attacker_cost(0.0) == 0.0
+
+    def test_defender_cost_scales_with_x(self):
+        params = paper_parameters(p=0.8, m=5)
+        assert params.defender_cost(0.5) == pytest.approx(4 * 5 * 0.5)
+
+    def test_with_m_copies(self):
+        base = paper_parameters(p=0.8, m=5)
+        other = base.with_m(12)
+        assert other.m == 12
+        assert other.p == base.p
+        assert base.m == 5  # frozen
+
+    def test_with_p_copies(self):
+        base = paper_parameters(p=0.8, m=5)
+        assert base.with_p(0.3).p == 0.3
+
+
+class TestValidation:
+    def test_p_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            paper_parameters(p=1.1, m=5)
+        with pytest.raises(ConfigurationError):
+            paper_parameters(p=-0.1, m=5)
+
+    def test_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            paper_parameters(p=0.5, m=0)
+
+    def test_bad_economics(self):
+        with pytest.raises(ConfigurationError):
+            GameParameters(ra=0.0, k1=1.0, k2=1.0, p=0.5, m=1)
+        with pytest.raises(ConfigurationError):
+            GameParameters(ra=1.0, k1=0.0, k2=1.0, p=0.5, m=1)
+        with pytest.raises(ConfigurationError):
+            GameParameters(ra=1.0, k1=1.0, k2=-1.0, p=0.5, m=1)
+
+    def test_bad_max_buffers(self):
+        with pytest.raises(ConfigurationError):
+            GameParameters(ra=1.0, k1=1.0, k2=1.0, p=0.5, m=1, max_buffers=0)
+
+    def test_assumption_flag_detects_violation(self):
+        weak = GameParameters(ra=5.0, k1=100.0, k2=1.0, p=0.9, m=1)
+        assert not weak.satisfies_paper_assumptions

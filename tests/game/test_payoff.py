@@ -1,0 +1,103 @@
+"""Unit tests for the payoff matrix (Table II) and §V-D expectations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import paper_parameters
+from repro.game.payoff import PayoffMatrix, expected_utilities
+
+shares = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPayoffMatrix:
+    @pytest.fixture
+    def params(self):
+        return paper_parameters(p=0.8, m=5)
+
+    def test_no_attack_no_defense_is_zero(self, params):
+        matrix = PayoffMatrix.at(params, 0.5, 0.5)
+        assert matrix.plain_quiet.defender == 0.0
+        assert matrix.plain_quiet.attacker == 0.0
+
+    def test_undefended_attack_full_damage(self, params):
+        matrix = PayoffMatrix.at(params, 0.5, 0.5)
+        assert matrix.plain_dos.defender == pytest.approx(-200.0)
+        assert matrix.plain_dos.attacker == pytest.approx(
+            200.0 - params.attacker_cost(0.5)
+        )
+
+    def test_defended_attack_scaled_by_p_to_m(self, params):
+        matrix = PayoffMatrix.at(params, 0.5, 0.5)
+        big_p = 0.8 ** 5
+        assert matrix.buffer_dos.defender == pytest.approx(
+            -params.defender_cost(0.5) - big_p * 200.0
+        )
+        assert matrix.buffer_dos.attacker == pytest.approx(
+            big_p * 200.0 - params.attacker_cost(0.5)
+        )
+
+    def test_quiet_attacker_earns_nothing(self, params):
+        matrix = PayoffMatrix.at(params, 0.7, 0.2)
+        assert matrix.buffer_quiet.attacker == 0.0
+        assert matrix.buffer_quiet.defender == pytest.approx(
+            -params.defender_cost(0.7)
+        )
+
+    def test_rows_layout(self, params):
+        matrix = PayoffMatrix.at(params, 0.5, 0.5)
+        rows = matrix.as_rows()
+        assert rows[0][0] == matrix.buffer_dos
+        assert rows[1][1] == matrix.plain_quiet
+
+    def test_share_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            PayoffMatrix.at(params, 1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            PayoffMatrix.at(params, 0.5, -0.1)
+
+
+class TestExpectedUtilities:
+    @pytest.fixture
+    def params(self):
+        return paper_parameters(p=0.8, m=5)
+
+    def test_no_attack_utility_is_zero(self, params):
+        assert expected_utilities(params, 0.5, 0.5).no_attack == 0.0
+
+    def test_hand_computed_example(self, params):
+        """E(Ud) at (X, Y) = (0.5, 0.5), p=0.8, m=5."""
+        u = expected_utilities(params, 0.5, 0.5)
+        big_p = 0.8 ** 5
+        cd = 4 * 5 * 0.5
+        expected = 0.5 * (-cd - big_p * 200) + 0.5 * (-cd)
+        assert u.defend == pytest.approx(expected)
+
+    def test_no_defense_utility(self, params):
+        u = expected_utilities(params, 0.3, 0.4)
+        assert u.no_defend == pytest.approx(-0.4 * 200.0)
+
+    def test_means_are_share_weighted(self, params):
+        u = expected_utilities(params, 0.3, 0.4)
+        assert u.defender_mean == pytest.approx(0.3 * u.defend + 0.7 * u.no_defend)
+        assert u.attacker_mean == pytest.approx(0.4 * u.attack)
+
+    @given(shares, shares)
+    @settings(max_examples=50)
+    def test_utilities_consistent_with_matrix(self, x, y):
+        """E(Ud) must equal the Y-weighted matrix row, etc."""
+        params = paper_parameters(p=0.8, m=5)
+        matrix = PayoffMatrix.at(params, x, y)
+        u = expected_utilities(params, x, y)
+        assert u.defend == pytest.approx(
+            y * matrix.buffer_dos.defender + (1 - y) * matrix.buffer_quiet.defender
+        )
+        assert u.no_defend == pytest.approx(
+            y * matrix.plain_dos.defender + (1 - y) * matrix.plain_quiet.defender
+        )
+        assert u.attack == pytest.approx(
+            x * matrix.buffer_dos.attacker + (1 - x) * matrix.plain_dos.attacker
+        )

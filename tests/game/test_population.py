@@ -1,0 +1,129 @@
+"""Tests for the agent-based population dynamics (§V-A bounded rationality)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.ess import EssType, realized_ess
+from repro.game.parameters import paper_parameters
+from repro.game.population import PopulationGame
+
+
+def make_game(m=14, mutation=0.0, seed=1, **kwargs):
+    defaults = dict(
+        defenders=300,
+        attackers=300,
+        imitation_rate=0.3,
+        mutation_rate=mutation,
+        rng=random.Random(seed),
+    )
+    defaults.update(kwargs)
+    return PopulationGame(
+        paper_parameters(p=0.8, m=m, max_buffers=100), **defaults
+    )
+
+
+class TestMechanics:
+    def test_initial_shares_respected(self):
+        game = make_game(x0=0.25, y0=0.75)
+        assert game.state.x == pytest.approx(0.25, abs=0.01)
+        assert game.state.y == pytest.approx(0.75, abs=0.01)
+
+    def test_shares_stay_in_unit_interval(self):
+        game = make_game(mutation=0.01)
+        trajectory = game.run(500)
+        assert (trajectory.xs >= 0).all() and (trajectory.xs <= 1).all()
+        assert (trajectory.ys >= 0).all() and (trajectory.ys <= 1).all()
+
+    def test_deterministic_given_seed(self):
+        a = make_game(seed=3).run(200)
+        b = make_game(seed=3).run(200)
+        assert a.final == b.final
+
+    def test_record_every_subsamples(self):
+        dense = make_game(seed=1).run(200, record_every=1)
+        sparse = make_game(seed=1).run(200, record_every=20)
+        assert len(sparse.xs) < len(dense.xs)
+        assert sparse.final == dense.final
+
+    def test_tail_mean_window(self):
+        trajectory = make_game(seed=1).run(400)
+        tail_x, tail_y = trajectory.tail_mean(0.25)
+        assert 0.0 <= tail_x <= 1.0
+        assert 0.0 <= tail_y <= 1.0
+
+    def test_boundary_absorption_without_mutation(self):
+        """Pure imitation cannot reintroduce an extinct strategy."""
+        game = make_game(m=5, x0=1.0, y0=1.0)
+        trajectory = game.run(100)
+        assert trajectory.final == (1.0, 1.0)
+
+    def test_mutation_escapes_boundaries(self):
+        game = make_game(m=30, x0=1.0, y0=1.0, mutation=0.02, seed=5)
+        trajectory = game.run(500)
+        assert trajectory.final != (1.0, 1.0)
+
+    def test_validation(self):
+        params = paper_parameters(p=0.8, m=5)
+        with pytest.raises(ConfigurationError):
+            PopulationGame(params, defenders=1)
+        with pytest.raises(ConfigurationError):
+            PopulationGame(params, x0=1.5)
+        with pytest.raises(ConfigurationError):
+            PopulationGame(params, imitation_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PopulationGame(params, mutation_rate=0.6)
+        with pytest.raises(ConfigurationError):
+            make_game().run(0)
+        with pytest.raises(ConfigurationError):
+            make_game().run(10, record_every=0)
+        with pytest.raises(ConfigurationError):
+            make_game().run(10).tail_mean(0.0)
+
+
+class TestMeanFieldAgreement:
+    """The §V-A claim: imitation dynamics realise the replicator ODE."""
+
+    @pytest.mark.parametrize(
+        "m,expected_type",
+        [(5, EssType.CORNER_11), (14, EssType.EDGE_1Y), (70, EssType.EDGE_X1)],
+    )
+    def test_agents_reach_the_ode_regime(self, m, expected_type):
+        params = paper_parameters(p=0.8, m=m, max_buffers=100)
+        ode_point, _ = realized_ess(params)
+        assert ode_point.ess_type is expected_type
+        game = make_game(m=m, mutation=0.001, seed=2, defenders=500, attackers=500)
+        trajectory = game.run(3000, record_every=10)
+        tail_x, tail_y = trajectory.tail_mean()
+        assert tail_x == pytest.approx(ode_point.x, abs=0.2)
+        assert tail_y == pytest.approx(ode_point.y, abs=0.2)
+
+    def test_interior_regime_hovers_near_the_spiral_sink(self):
+        params = paper_parameters(p=0.8, m=30)
+        ode_point, _ = realized_ess(params)
+        game = make_game(m=30, mutation=0.001, seed=4, defenders=500, attackers=500)
+        trajectory = game.run(4000, record_every=10)
+        tail_x, tail_y = trajectory.tail_mean()
+        assert tail_x == pytest.approx(ode_point.x, abs=0.2)
+        assert tail_y == pytest.approx(ode_point.y, abs=0.25)
+
+    def test_larger_populations_track_more_tightly(self):
+        """Mean-field convergence: variance shrinks with population size."""
+        params = paper_parameters(p=0.8, m=30)
+        ode_point, _ = realized_ess(params)
+        errors = {}
+        for size in (50, 800):
+            game = PopulationGame(
+                params,
+                defenders=size,
+                attackers=size,
+                imitation_rate=0.3,
+                mutation_rate=0.001,
+                rng=random.Random(7),
+            )
+            tail_x, tail_y = game.run(3000, record_every=10).tail_mean()
+            errors[size] = abs(tail_x - ode_point.x) + abs(tail_y - ode_point.y)
+        assert errors[800] <= errors[50] + 0.05

@@ -1,0 +1,158 @@
+"""Unit and property tests for the replicator dynamics (§V-D)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.game.parameters import paper_parameters
+from repro.game.replicator import (
+    PAPER_INITIAL_SHARES,
+    PAPER_TIME_STEP,
+    ReplicatorDynamics,
+)
+
+inner = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+@pytest.fixture
+def dynamics():
+    return ReplicatorDynamics(paper_parameters(p=0.8, m=20))
+
+
+class TestVectorField:
+    def test_paper_constants(self):
+        assert PAPER_TIME_STEP == 0.01
+        assert PAPER_INITIAL_SHARES == (0.5, 0.5)
+
+    def test_closed_form_example(self, dynamics):
+        """dX/dt at (0.5, 0.5) for p=0.8, m=20, Ra=200, k2=4."""
+        q = 1 - 0.8 ** 20
+        expected_dx = 0.25 * (200 * 0.5 * q - 4 * 20 * 0.5)
+        expected_dy = 0.25 * (-q * 0.5 * 200 + 200 - 20 * 0.8 * 0.5)
+        dx, dy = dynamics.derivatives(0.5, 0.5)
+        assert dx == pytest.approx(expected_dx)
+        assert dy == pytest.approx(expected_dy)
+
+    def test_boundary_is_invariant(self, dynamics):
+        for x, y in ((0.0, 0.5), (1.0, 0.5)):
+            dx, _ = dynamics.derivatives(x, y)
+            assert dx == 0.0
+        for x, y in ((0.5, 0.0), (0.5, 1.0)):
+            _, dy = dynamics.derivatives(x, y)
+            assert dy == 0.0
+
+    @given(inner, inner)
+    @settings(max_examples=60)
+    def test_closed_form_matches_utility_form(self, x, y):
+        """The §V-D algebra: closed forms must equal the definitionally
+        computed X[E(Ud) - E(d)], Y[E(Ua) - E(a)]."""
+        dynamics = ReplicatorDynamics(paper_parameters(p=0.8, m=20))
+        closed = dynamics.derivatives(x, y)
+        definitional = dynamics.derivatives_from_utilities(x, y)
+        assert closed[0] == pytest.approx(definitional[0], abs=1e-9)
+        assert closed[1] == pytest.approx(definitional[1], abs=1e-9)
+
+    @given(
+        inner,
+        inner,
+        st.floats(min_value=0.05, max_value=0.99),
+        st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=60)
+    def test_parametrised_consistency(self, x, y, p, m):
+        dynamics = ReplicatorDynamics(paper_parameters(p=p, m=m, max_buffers=100))
+        closed = dynamics.derivatives(x, y)
+        definitional = dynamics.derivatives_from_utilities(x, y)
+        assert closed[0] == pytest.approx(definitional[0], abs=1e-6)
+        assert closed[1] == pytest.approx(definitional[1], abs=1e-6)
+
+
+class TestJacobian:
+    def test_matches_finite_differences(self, dynamics):
+        import numpy as np
+
+        x, y, h = 0.37, 0.61, 1e-7
+        jac = dynamics.jacobian(x, y)
+        fx1 = dynamics.derivatives(x + h, y)
+        fx0 = dynamics.derivatives(x - h, y)
+        fy1 = dynamics.derivatives(x, y + h)
+        fy0 = dynamics.derivatives(x, y - h)
+        numeric = np.array(
+            [
+                [(fx1[0] - fx0[0]) / (2 * h), (fy1[0] - fy0[0]) / (2 * h)],
+                [(fx1[1] - fx0[1]) / (2 * h), (fy1[1] - fy0[1]) / (2 * h)],
+            ]
+        )
+        assert np.allclose(jac, numeric, atol=1e-4)
+
+
+class TestIntegration:
+    def test_stays_in_unit_square(self, dynamics):
+        trajectory = dynamics.integrate(0.5, 0.5, max_steps=5000)
+        assert (trajectory.xs >= 0).all() and (trajectory.xs <= 1).all()
+        assert (trajectory.ys >= 0).all() and (trajectory.ys <= 1).all()
+
+    def test_converges_for_paper_setting(self, dynamics):
+        trajectory = dynamics.integrate()
+        assert trajectory.converged
+
+    def test_final_point_is_rest_point(self, dynamics):
+        trajectory = dynamics.integrate()
+        dx, dy = dynamics.derivatives(*trajectory.final)
+        assert abs(dx) + abs(dy) < 1e-8
+
+    def test_rk4_agrees_with_euler_destination(self, dynamics):
+        euler = dynamics.integrate(method="euler")
+        rk4 = dynamics.integrate(method="rk4")
+        assert euler.final[0] == pytest.approx(rk4.final[0], abs=0.05)
+        assert euler.final[1] == pytest.approx(rk4.final[1], abs=0.05)
+
+    def test_record_every_subsamples(self, dynamics):
+        full = dynamics.integrate(max_steps=1000, record_every=1)
+        sparse = dynamics.integrate(max_steps=1000, record_every=50)
+        assert len(sparse.xs) < len(full.xs)
+        assert sparse.final == full.final
+
+    def test_initial_point_recorded(self, dynamics):
+        trajectory = dynamics.integrate(0.3, 0.7, max_steps=10)
+        assert trajectory.initial == (0.3, 0.7)
+
+    def test_settles_within(self, dynamics):
+        trajectory = dynamics.integrate()
+        assert trajectory.settles_within(*trajectory.final, tol=1e-6)
+        assert not trajectory.settles_within(0.0, 0.0, tol=1e-6)
+
+    def test_divergence_raises_when_asked(self, dynamics):
+        with pytest.raises(ConvergenceError):
+            dynamics.integrate(max_steps=3, raise_on_divergence=True)
+
+    def test_unconverged_returned_otherwise(self, dynamics):
+        trajectory = dynamics.integrate(max_steps=3)
+        assert not trajectory.converged
+        assert trajectory.steps == 3
+
+    def test_bad_arguments_rejected(self, dynamics):
+        with pytest.raises(ConfigurationError):
+            dynamics.integrate(dt=0.0)
+        with pytest.raises(ConfigurationError):
+            dynamics.integrate(max_steps=0)
+        with pytest.raises(ConfigurationError):
+            dynamics.integrate(method="leapfrog")
+        with pytest.raises(ConfigurationError):
+            dynamics.integrate(record_every=0)
+
+    @given(
+        inner,
+        inner,
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_unit_square_invariance_property(self, x0, y0, p, m):
+        dynamics = ReplicatorDynamics(paper_parameters(p=p, m=m, max_buffers=100))
+        trajectory = dynamics.integrate(x0, y0, max_steps=2000)
+        assert (trajectory.xs >= 0).all() and (trajectory.xs <= 1).all()
+        assert (trajectory.ys >= 0).all() and (trajectory.ys <= 1).all()

@@ -1,0 +1,83 @@
+"""Unit tests for the economic-constant sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.game.parameters import paper_parameters
+from repro.game.sensitivity import (
+    recommendation_stability,
+    sensitivity_sweep,
+)
+
+BASE = paper_parameters(p=0.8, m=1)
+
+
+class TestSensitivitySweep:
+    def test_sweeps_ra(self):
+        points = sensitivity_sweep(BASE, "ra", [100.0, 200.0, 400.0])
+        assert [point.value for point in points] == [100.0, 200.0, 400.0]
+        assert all(point.field == "ra" for point in points)
+
+    def test_higher_reward_more_buffers(self):
+        """Richer targets justify stronger defense."""
+        points = sensitivity_sweep(BASE, "ra", [50.0, 200.0, 800.0])
+        ms = [point.optimal_m for point in points]
+        assert ms[0] <= ms[1] <= ms[2]
+        assert ms[0] < ms[2]
+
+    def test_pricier_buffers_fewer_buffers(self):
+        points = sensitivity_sweep(BASE, "k2", [1.0, 4.0, 16.0])
+        ms = [point.optimal_m for point in points]
+        assert ms[0] >= ms[1] >= ms[2]
+        assert ms[0] > ms[2]
+
+    def test_game_still_beats_naive_everywhere(self):
+        for field, values in (
+            ("ra", [100.0, 400.0]),
+            ("k1", [10.0, 40.0]),
+            ("k2", [2.0, 8.0]),
+        ):
+            for point in sensitivity_sweep(BASE, field, values):
+                assert point.advantage >= -1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_sweep(BASE, "p", [0.5])
+        with pytest.raises(ConfigurationError):
+            sensitivity_sweep(BASE, "ra", [])
+
+
+class TestRecommendationStability:
+    def test_reports_all_constants(self):
+        stability = recommendation_stability(BASE, relative_error=0.25, steps=3)
+        assert set(stability) == {"ra", "k1", "k2"}
+
+    def test_baseline_within_bounds(self):
+        stability = recommendation_stability(BASE, relative_error=0.25, steps=3)
+        for low, baseline, high in stability.values():
+            assert low <= baseline <= high
+
+    def test_recommendation_is_robust_at_paper_setting(self):
+        """±25% misestimation of any constant moves m* by only a few
+        buffers — the practical robustness argument for the mechanism."""
+        stability = recommendation_stability(BASE, relative_error=0.25, steps=5)
+        for low, baseline, high in stability.values():
+            assert high - low <= max(4, baseline // 2)
+
+    def test_wider_error_wider_range(self):
+        narrow = recommendation_stability(BASE, relative_error=0.1, steps=3)
+        wide = recommendation_stability(BASE, relative_error=0.5, steps=3)
+        for field in ("ra", "k2"):
+            narrow_span = narrow[field][2] - narrow[field][0]
+            wide_span = wide[field][2] - wide[field][0]
+            assert wide_span >= narrow_span
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommendation_stability(BASE, relative_error=0.0)
+        with pytest.raises(ConfigurationError):
+            recommendation_stability(BASE, relative_error=1.5)
+        with pytest.raises(ConfigurationError):
+            recommendation_stability(BASE, steps=1)

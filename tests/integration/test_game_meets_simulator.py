@@ -1,0 +1,110 @@
+"""Integration between the analytic game and the packet-level simulator.
+
+The game prices attacks with ``P = p^m``; the simulator implements the
+actual reservoir mechanics. These tests verify the two agree — i.e.
+that the model the paper optimises is the system the protocol runs.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.game.adaptive import AdaptiveDefense, AttackEstimator
+from repro.game.parameters import paper_parameters
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+
+def hypergeometric_attack_success(authentic: int, forged: int, m: int) -> float:
+    """Exact survival model for a finite copy pool (the simulator's truth;
+    converges to p^m as the pool grows)."""
+    total = authentic + forged
+    if m >= total:
+        return 0.0 if authentic else 1.0
+    if forged < m:
+        return 0.0
+    return comb(forged, m) / comb(total, m)
+
+
+class TestEmpiricalVsAnalytic:
+    @pytest.mark.parametrize("p,m", [(0.5, 3), (0.8, 3), (0.8, 6)])
+    def test_attack_success_matches_model(self, p, m):
+        copies = 5
+        forged = round(copies * p / (1 - p))
+        result = run_scenario(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=150,
+                receivers=2,
+                buffers=m,
+                attack_fraction=p,
+                announce_copies=copies,
+                seed=3,
+            )
+        )
+        expected = hypergeometric_attack_success(copies, forged, m)
+        assert result.attack_success_rate == pytest.approx(expected, abs=0.08)
+
+    def test_hypergeometric_approaches_p_to_m(self):
+        """Sanity on the model itself: with many copies, the exact
+        finite-pool probability converges to the paper's p^m."""
+        p, m = 0.8, 4
+        coarse = hypergeometric_attack_success(5, 20, m)
+        fine = hypergeometric_attack_success(200, 800, m)
+        assert fine == pytest.approx(p ** m, abs=0.005)
+        assert abs(coarse - p ** m) < 0.06
+
+    def test_game_optimal_m_beats_naive_m_in_simulation(self):
+        """Run the simulator at the game's recommended m and at m=1;
+        the recommendation must authenticate substantially more."""
+        p = 0.8
+        policy = AdaptiveDefense(
+            paper_parameters(p=0.5, m=1),
+            AttackEstimator(alpha=1.0, initial=p),
+        )
+        m_star = policy.recommended_buffers()
+        base = dict(protocol="dap", intervals=80, attack_fraction=p, seed=9)
+        tuned = run_scenario(ScenarioConfig(buffers=m_star, **base))
+        naive = run_scenario(ScenarioConfig(buffers=1, **base))
+        assert tuned.authentication_rate > naive.authentication_rate + 0.3
+
+
+class TestAdaptiveEstimationLoop:
+    def test_estimator_recovers_attack_level_from_receiver_stats(self):
+        """Feed the estimator what a DAP node actually observes and check
+        it converges near the true p."""
+        p, m = 0.8, 5
+        result = run_scenario(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=120,
+                receivers=1,
+                buffers=m,
+                attack_fraction=p,
+                announce_copies=5,
+                seed=4,
+            )
+        )
+        node = result.nodes[0]
+        estimator = AttackEstimator(alpha=0.1, initial=0.5)
+        observations = node.receiver.observations
+        assert observations, "receiver recorded no reveal observations"
+        for _interval, stored, matched in observations:
+            estimator.observe_interval(stored, matched)
+        # matched/stored is an unbiased sample of the authentic fraction,
+        # so the estimate lands near the true p.
+        assert estimator.estimate == pytest.approx(p, abs=0.12)
+
+    def test_adaptive_policy_tracks_changing_attack(self):
+        estimator = AttackEstimator(alpha=0.5, initial=0.2)
+        policy = AdaptiveDefense(paper_parameters(p=0.5, m=1), estimator)
+        quiet = policy.recommended_buffers()
+        for _ in range(10):
+            estimator.observe_fraction(0.9)
+        stormy = policy.recommended_buffers()
+        for _ in range(10):
+            estimator.observe_fraction(0.1)
+        calm = policy.recommended_buffers()
+        assert quiet < stormy
+        assert calm < stormy

@@ -1,0 +1,132 @@
+"""End-to-end protocol runs through the full simulator stack.
+
+Every protocol is exercised under clean channels, lossy channels and
+flooding attacks; the security invariant (no forged packet ever
+authenticates) must hold in all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+ALL_PROTOCOLS = ("dap", "tesla_pp", "tesla", "mu_tesla", "multilevel", "eftp", "edrp")
+
+
+class TestCleanChannel:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_full_authentication(self, protocol):
+        result = run_scenario(
+            ScenarioConfig(protocol=protocol, intervals=25, receivers=2)
+        )
+        assert result.authentication_rate == 1.0
+        assert result.fleet.total_forged_accepted == 0
+
+
+class TestLossyChannel:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_degrades_gracefully(self, protocol):
+        result = run_scenario(
+            ScenarioConfig(
+                protocol=protocol,
+                intervals=30,
+                receivers=2,
+                loss_probability=0.15,
+                announce_copies=3,
+            )
+        )
+        assert result.authentication_rate > 0.3
+        assert result.fleet.total_forged_accepted == 0
+
+    def test_severe_loss_still_sound(self):
+        """The paper's 'low QoS channels': heavy loss hurts availability,
+        never integrity."""
+        result = run_scenario(
+            ScenarioConfig(
+                protocol="dap", intervals=40, receivers=3, loss_probability=0.5
+            )
+        )
+        assert 0.0 < result.authentication_rate < 1.0
+        assert result.fleet.total_forged_accepted == 0
+
+
+class TestUnderFlood:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_no_forged_acceptance_ever(self, protocol):
+        result = run_scenario(
+            ScenarioConfig(
+                protocol=protocol,
+                intervals=30,
+                receivers=2,
+                attack_fraction=0.8,
+            )
+        )
+        assert result.fleet.total_forged_accepted == 0
+
+    def test_extreme_flood_sound(self):
+        """'works even in the extreme case' (abstract): p = 0.97."""
+        result = run_scenario(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=30,
+                receivers=2,
+                buffers=12,
+                attack_fraction=0.97,
+            )
+        )
+        assert result.fleet.total_forged_accepted == 0
+        assert result.forged_bandwidth_fraction > 0.8
+
+    def test_dap_beats_teslapp_under_burst_flood(self):
+        """The §IV headline, measured through the whole stack."""
+        common = dict(intervals=40, receivers=3, buffers=3, attack_fraction=0.8)
+        dap = run_scenario(ScenarioConfig(protocol="dap", **common))
+        teslapp = run_scenario(ScenarioConfig(protocol="tesla_pp", **common))
+        assert dap.authentication_rate > teslapp.authentication_rate + 0.2
+
+    def test_more_buffers_help_dap(self):
+        rates = []
+        for m in (1, 4, 10):
+            result = run_scenario(
+                ScenarioConfig(
+                    protocol="dap", intervals=60, buffers=m, attack_fraction=0.8
+                )
+            )
+            rates.append(result.authentication_rate)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_flood_plus_loss_combined(self):
+        result = run_scenario(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=40,
+                receivers=2,
+                buffers=6,
+                attack_fraction=0.7,
+                loss_probability=0.2,
+            )
+        )
+        assert result.fleet.total_forged_accepted == 0
+        assert result.authentication_rate > 0.2
+
+
+class TestMemoryFootprint:
+    def test_dap_uses_fraction_of_teslapp_memory(self):
+        """Same buffer count -> DAP's records are half TESLA++'s actual
+        (and 1/5 of the paper-accounted 280-bit records)."""
+        common = dict(intervals=30, receivers=1, buffers=6, attack_fraction=0.6)
+        dap = run_scenario(ScenarioConfig(protocol="dap", **common))
+        teslapp = run_scenario(ScenarioConfig(protocol="tesla_pp", **common))
+        assert dap.fleet.peak_buffer_bits * 2 <= teslapp.fleet.peak_buffer_bits
+
+    def test_peak_memory_scales_with_buffers(self):
+        small = run_scenario(
+            ScenarioConfig(protocol="dap", intervals=30, buffers=2,
+                           attack_fraction=0.8)
+        )
+        large = run_scenario(
+            ScenarioConfig(protocol="dap", intervals=30, buffers=8,
+                           attack_fraction=0.8)
+        )
+        assert large.fleet.peak_buffer_bits > small.fleet.peak_buffer_bits

@@ -1,0 +1,46 @@
+"""Shared drivers for protocol-level tests.
+
+Protocols are driven without the simulator here: packets for interval
+``i`` are delivered mid-interval (receiver-local time ``i - 0.5`` on a
+unit schedule), which keeps timing explicit and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.protocols.base import AuthEvent, AuthOutcome, BroadcastReceiver
+
+__all__ = ["mid_interval", "deliver", "run_intervals", "outcomes"]
+
+
+def mid_interval(index: int, duration: float = 1.0) -> float:
+    """Receiver-local time in the middle of interval ``index``."""
+    return (index - 1) * duration + duration / 2
+
+
+def deliver(
+    receiver: BroadcastReceiver, packets: Iterable[object], now: float
+) -> List[AuthEvent]:
+    """Feed ``packets`` to ``receiver`` at time ``now``."""
+    events: List[AuthEvent] = []
+    for packet in packets:
+        events.extend(receiver.receive(packet, now))
+    return events
+
+
+def run_intervals(
+    sender, receiver: BroadcastReceiver, intervals: int, duration: float = 1.0
+) -> List[AuthEvent]:
+    """Deliver every interval's packets in order, loss-free."""
+    events: List[AuthEvent] = []
+    for index in range(1, intervals + 1):
+        events.extend(
+            deliver(receiver, sender.packets_for_interval(index), mid_interval(index, duration))
+        )
+    return events
+
+
+def outcomes(events: Iterable[AuthEvent], outcome: AuthOutcome) -> List[AuthEvent]:
+    """Filter events by outcome."""
+    return [event for event in events if event.outcome is outcome]

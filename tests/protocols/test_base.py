@@ -1,0 +1,82 @@
+"""Unit tests for the shared protocol interfaces and stats accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.base import AuthEvent, AuthOutcome, ReceiverStats
+from repro.protocols.packets import FORGED, LEGITIMATE
+
+
+class TestReceiverStats:
+    def test_record_authenticated(self):
+        stats = ReceiverStats()
+        stats.record(AuthEvent(1, AuthOutcome.AUTHENTICATED))
+        assert stats.authenticated == 1
+        assert stats.forged_accepted == 0
+
+    def test_forged_authentication_flagged(self):
+        """The invariant counter: a forged packet reaching AUTHENTICATED
+        must be visible, loudly."""
+        stats = ReceiverStats()
+        stats.record(AuthEvent(1, AuthOutcome.AUTHENTICATED, provenance=FORGED))
+        assert stats.forged_accepted == 1
+
+    @pytest.mark.parametrize(
+        "outcome,attr",
+        [
+            (AuthOutcome.REJECTED_FORGED, "rejected_forged"),
+            (AuthOutcome.REJECTED_WEAK_AUTH, "rejected_weak_auth"),
+            (AuthOutcome.DISCARDED_UNSAFE, "discarded_unsafe"),
+            (AuthOutcome.LOST_NO_RECORD, "lost_no_record"),
+            (AuthOutcome.DROPPED_NO_BUFFER, "dropped_no_buffer"),
+            (AuthOutcome.EXPIRED_UNVERIFIED, "expired_unverified"),
+        ],
+    )
+    def test_every_outcome_has_a_counter(self, outcome, attr):
+        stats = ReceiverStats()
+        stats.record(AuthEvent(1, outcome))
+        assert getattr(stats, attr) == 1
+
+    def test_by_outcome_histogram(self):
+        stats = ReceiverStats()
+        for _ in range(3):
+            stats.record(AuthEvent(1, AuthOutcome.AUTHENTICATED))
+        stats.record(AuthEvent(2, AuthOutcome.REJECTED_FORGED))
+        assert stats.by_outcome[AuthOutcome.AUTHENTICATED] == 3
+        assert stats.by_outcome[AuthOutcome.REJECTED_FORGED] == 1
+        assert stats.resolved == 4
+
+    def test_authentication_rate(self):
+        stats = ReceiverStats()
+        for _ in range(7):
+            stats.record(AuthEvent(1, AuthOutcome.AUTHENTICATED))
+        assert stats.authentication_rate(10) == pytest.approx(0.7)
+
+    def test_authentication_rate_degenerate_denominator(self):
+        assert ReceiverStats().authentication_rate(0) == 0.0
+
+
+class TestAuthEvent:
+    def test_defaults(self):
+        event = AuthEvent(5, AuthOutcome.AUTHENTICATED)
+        assert event.provenance == LEGITIMATE
+        assert event.message is None
+
+    def test_frozen(self):
+        event = AuthEvent(5, AuthOutcome.AUTHENTICATED)
+        with pytest.raises(Exception):
+            event.index = 6  # type: ignore[misc]
+
+    def test_outcome_values_are_stable_api(self):
+        """Outcome strings are part of the public surface (metrics,
+        journals, examples); renaming one is a breaking change."""
+        assert {o.value for o in AuthOutcome} == {
+            "authenticated",
+            "rejected_forged",
+            "rejected_weak_auth",
+            "discarded_unsafe",
+            "lost_no_record",
+            "dropped_no_buffer",
+            "expired_unverified",
+        }

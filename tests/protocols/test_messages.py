@@ -1,0 +1,35 @@
+"""Tests for deterministic message payload generation."""
+
+from __future__ import annotations
+
+from repro.protocols.messages import (
+    MESSAGE_BYTES,
+    default_message,
+    forged_message,
+)
+
+
+class TestDefaultMessage:
+    def test_size_is_25_bytes(self):
+        assert len(default_message(1)) == MESSAGE_BYTES == 25
+
+    def test_deterministic(self):
+        assert default_message(3, 1) == default_message(3, 1)
+
+    def test_distinct_per_interval(self):
+        assert default_message(1) != default_message(2)
+
+    def test_distinct_per_copy(self):
+        assert default_message(1, 0) != default_message(1, 1)
+
+
+class TestForgedMessage:
+    def test_size(self):
+        assert len(forged_message(1)) == MESSAGE_BYTES
+
+    def test_never_collides_with_authentic(self):
+        for i in range(50):
+            assert forged_message(i) != default_message(i)
+
+    def test_distinct_per_nonce(self):
+        assert forged_message(1, 0) != forged_message(1, 1)

@@ -1,0 +1,139 @@
+"""Unit tests for the μTESLA protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import AuthOutcome
+from repro.protocols.mu_tesla import MuTeslaReceiver, MuTeslaSender
+from repro.protocols.packets import (
+    FORGED,
+    KeyDisclosurePacket,
+    MuTeslaDataPacket,
+)
+from repro.timesync.sync import SecurityCondition
+from tests.protocols.helpers import deliver, mid_interval, outcomes, run_intervals
+
+SEED = b"mu-tesla-seed"
+
+
+@pytest.fixture
+def condition_d2(schedule, sync):
+    return SecurityCondition(schedule, sync, disclosure_delay=2)
+
+
+@pytest.fixture
+def sender():
+    return MuTeslaSender(SEED, chain_length=15, disclosure_delay=2)
+
+
+@pytest.fixture
+def receiver(sender, condition_d2):
+    return MuTeslaReceiver(sender.chain.commitment, condition_d2)
+
+
+class TestMuTeslaSender:
+    def test_interval_emits_data_and_disclosure(self, sender):
+        packets = sender.packets_for_interval(5)
+        data = [p for p in packets if isinstance(p, MuTeslaDataPacket)]
+        keys = [p for p in packets if isinstance(p, KeyDisclosurePacket)]
+        assert len(data) == 1
+        assert len(keys) == 1
+        assert keys[0].index == 3
+
+    def test_no_disclosure_in_early_intervals(self, sender):
+        packets = sender.packets_for_interval(2)
+        assert not [p for p in packets if isinstance(p, KeyDisclosurePacket)]
+
+    def test_disclosure_once_per_epoch_not_per_packet(self):
+        """The μTESLA bandwidth saving: many data packets, one disclosure."""
+        sender = MuTeslaSender(SEED, 15, packets_per_interval=5)
+        packets = sender.packets_for_interval(6)
+        keys = [p for p in packets if isinstance(p, KeyDisclosurePacket)]
+        assert len(keys) == 1
+
+    def test_redundant_disclosures_configurable(self):
+        sender = MuTeslaSender(SEED, 15, disclosures_per_interval=3)
+        packets = sender.packets_for_interval(6)
+        keys = [p for p in packets if isinstance(p, KeyDisclosurePacket)]
+        assert len(keys) == 3
+
+    def test_data_macs_use_interval_key(self, sender, mac_scheme):
+        packet = sender.packets_for_interval(3)[0]
+        assert mac_scheme.verify(sender.chain.key(3), packet.message, packet.mac)
+
+    def test_bandwidth_cheaper_than_tesla(self, sender):
+        """Per interval, μTESLA ships fewer bits than TESLA (one small
+        disclosure instead of a key in every packet)."""
+        from repro.protocols.tesla import TeslaSender
+
+        tesla = TeslaSender(SEED, 15, packets_per_interval=4)
+        mu = MuTeslaSender(SEED, 15, packets_per_interval=4)
+        tesla_bits = sum(p.wire_bits for p in tesla.packets_for_interval(5))
+        mu_bits = sum(p.wire_bits for p in mu.packets_for_interval(5))
+        assert mu_bits < tesla_bits
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MuTeslaSender(SEED, 15, disclosures_per_interval=0)
+
+
+class TestMuTeslaAuthentication:
+    def test_loss_free_run(self, sender, receiver):
+        events = run_intervals(sender, receiver, 15)
+        assert len(outcomes(events, AuthOutcome.AUTHENTICATED)) == 13
+        assert receiver.stats.forged_accepted == 0
+
+    def test_lost_disclosure_recovered_by_later_one(self, sender, receiver):
+        """Key chain recovery: losing the disclosure of K_1 is healed by
+        the disclosure of K_2 (one extra interval of latency)."""
+        deliver(receiver, sender.packets_for_interval(1), mid_interval(1))
+        deliver(receiver, sender.packets_for_interval(2), mid_interval(2))
+        # interval 3 would disclose K_1 -- drop only that packet.
+        packets = [
+            p
+            for p in sender.packets_for_interval(3)
+            if not isinstance(p, KeyDisclosurePacket)
+        ]
+        deliver(receiver, packets, mid_interval(3))
+        assert 1 not in receiver.authenticated_intervals
+        deliver(receiver, sender.packets_for_interval(4), mid_interval(4))
+        assert 1 in receiver.authenticated_intervals
+        assert 2 in receiver.authenticated_intervals
+
+    def test_forged_data_rejected_at_verification(self, sender, receiver):
+        forged = MuTeslaDataPacket(2, b"f" * 25, b"\x00" * 10, provenance=FORGED)
+        deliver(receiver, [forged], mid_interval(2))
+        run_intervals(sender, receiver, 6)
+        assert receiver.stats.rejected_forged >= 1
+        assert receiver.stats.forged_accepted == 0
+
+    def test_forged_disclosure_does_not_advance_chain(self, sender, receiver):
+        forged = KeyDisclosurePacket(2, b"\xff" * 10, provenance=FORGED)
+        events = deliver(receiver, [forged], mid_interval(4))
+        assert outcomes(events, AuthOutcome.REJECTED_WEAK_AUTH)
+        assert receiver.trusted_index == 0
+
+    def test_forged_disclosure_then_authentic_still_works(self, sender, receiver):
+        deliver(
+            receiver, [KeyDisclosurePacket(2, b"\xff" * 10, provenance=FORGED)], 3.5
+        )
+        run_intervals(sender, receiver, 6)
+        assert receiver.stats.authenticated >= 4
+        assert receiver.stats.forged_accepted == 0
+
+    def test_stale_data_discarded(self, sender, receiver):
+        packet = sender.packets_for_interval(1)[0]
+        events = deliver(receiver, [packet], mid_interval(4))
+        assert outcomes(events, AuthOutcome.DISCARDED_UNSAFE)
+
+    def test_wrong_packet_type_raises(self, receiver):
+        with pytest.raises(TypeError):
+            receiver.receive(42, 0.0)
+
+    def test_expire_older_than(self, sender, receiver):
+        deliver(receiver, sender.packets_for_interval(1), mid_interval(1))
+        receiver.expire_older_than(9)
+        assert receiver.buffered_bits == 0
+        assert receiver.stats.expired_unverified == 1

@@ -1,0 +1,95 @@
+"""Wire-format size tests — the paper's bit accounting must be derivable."""
+
+from __future__ import annotations
+
+from repro.protocols.packets import (
+    FORGED,
+    LEGITIMATE,
+    CdmPacket,
+    KeyDisclosurePacket,
+    MacAnnouncePacket,
+    MessageKeyPacket,
+    MicroMacRecord,
+    MuTeslaDataPacket,
+    StoredPacketRecord,
+    TeslaPacket,
+)
+
+MSG = b"m" * 25
+MAC = b"a" * 10
+KEY = b"k" * 10
+
+
+class TestWireSizes:
+    def test_tesla_packet(self):
+        packet = TeslaPacket(3, MSG, MAC, 1, KEY)
+        assert packet.wire_bits == 32 + 32 + 200 + 80 + 80
+
+    def test_tesla_packet_without_disclosure_is_smaller(self):
+        packet = TeslaPacket(1, MSG, MAC, 0, None)
+        assert packet.wire_bits == 32 + 32 + 200 + 80
+
+    def test_mu_tesla_data(self):
+        assert MuTeslaDataPacket(1, MSG, MAC).wire_bits == 32 + 200 + 80
+
+    def test_key_disclosure(self):
+        assert KeyDisclosurePacket(1, KEY).wire_bits == 32 + 80
+
+    def test_mac_announce_is_112_bits(self):
+        """Fig. 4: MACi (80b) + i (32b)."""
+        assert MacAnnouncePacket(1, MAC).wire_bits == 112
+
+    def test_message_key_is_312_bits(self):
+        """Fig. 4: M (200b) + Ki (80b) + i (32b)."""
+        assert MessageKeyPacket(1, MSG, KEY).wire_bits == 312
+
+    def test_cdm_without_hash(self):
+        packet = CdmPacket(2, KEY, MAC, 1, KEY)
+        assert packet.wire_bits == 32 + 32 + 80 + 80 + 80
+
+    def test_cdm_optional_fields_count_only_when_present(self):
+        bare = CdmPacket(1, KEY, MAC, 0, None)
+        assert bare.wire_bits == 32 + 32 + 80 + 80
+
+    def test_cdm_with_edrp_hash_adds_80(self):
+        plain = CdmPacket(1, KEY, MAC, 0, None)
+        chained = CdmPacket(1, KEY, MAC, 0, None, next_cdm_hash=b"h" * 10)
+        assert chained.wire_bits == plain.wire_bits + 80
+
+
+class TestStoredSizes:
+    def test_micro_mac_record_is_56_bits(self):
+        """§IV-D: 24-bit μMAC + 32-bit index."""
+        assert MicroMacRecord(1, b"u" * 3).stored_bits == 56
+
+    def test_classic_record_is_280_bits(self):
+        """§IV-D: 200-bit message + 80-bit MAC."""
+        assert StoredPacketRecord(1, MSG, MAC).stored_bits == 280
+
+    def test_dap_saves_80_percent(self):
+        classic = StoredPacketRecord(1, MSG, MAC).stored_bits
+        dap = MicroMacRecord(1, b"u" * 3).stored_bits
+        assert dap / classic == 0.2
+
+    def test_five_fold_buffer_multiplier(self):
+        classic = StoredPacketRecord(1, MSG, MAC).stored_bits
+        dap = MicroMacRecord(1, b"u" * 3).stored_bits
+        assert classic // dap == 5
+
+
+class TestProvenance:
+    def test_default_is_legitimate(self):
+        assert MacAnnouncePacket(1, MAC).provenance == LEGITIMATE
+
+    def test_forged_tag(self):
+        assert MacAnnouncePacket(1, MAC, provenance=FORGED).provenance == FORGED
+
+    def test_provenance_excluded_from_equality(self):
+        a = MacAnnouncePacket(1, MAC, provenance=LEGITIMATE)
+        b = MacAnnouncePacket(1, MAC, provenance=FORGED)
+        assert a == b  # protocol-visible fields identical
+
+    def test_cdm_mac_payload_covers_identity(self):
+        a = CdmPacket(1, KEY, MAC, 0, None)
+        b = CdmPacket(2, KEY, MAC, 0, None)
+        assert a.mac_payload() != b.mac_payload()

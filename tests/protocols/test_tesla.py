@@ -1,0 +1,176 @@
+"""Unit tests for the TESLA protocol."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import AuthOutcome
+from repro.protocols.packets import FORGED, TeslaPacket
+from repro.protocols.tesla import TeslaReceiver, TeslaSender
+from tests.protocols.helpers import deliver, mid_interval, outcomes, run_intervals
+
+SEED = b"tesla-seed"
+
+
+@pytest.fixture
+def sender():
+    return TeslaSender(SEED, chain_length=20, disclosure_delay=2)
+
+
+@pytest.fixture
+def receiver(sender, condition_d2):
+    return TeslaReceiver(sender.chain.commitment, condition_d2)
+
+
+@pytest.fixture
+def condition_d2(schedule, sync):
+    from repro.timesync.sync import SecurityCondition
+
+    return SecurityCondition(schedule, sync, disclosure_delay=2)
+
+
+class TestTeslaSender:
+    def test_packet_discloses_lagged_key(self, sender):
+        packet = sender.packets_for_interval(5)[0]
+        assert packet.disclosed_index == 3
+        assert packet.disclosed_key == sender.chain.key(3)
+
+    def test_no_disclosure_before_delay(self, sender):
+        packet = sender.packets_for_interval(1)[0]
+        assert packet.disclosed_key is None
+
+    def test_mac_verifies_under_interval_key(self, sender, mac_scheme):
+        packet = sender.packets_for_interval(4)[0]
+        assert mac_scheme.verify(sender.chain.key(4), packet.message, packet.mac)
+
+    def test_multiple_packets_per_interval(self):
+        sender = TeslaSender(SEED, 10, packets_per_interval=3)
+        packets = sender.packets_for_interval(2)
+        assert len(packets) == 3
+        assert len({p.message for p in packets}) == 3
+
+    def test_bootstrap_contents(self, sender):
+        boot = sender.bootstrap
+        assert boot["commitment"] == sender.chain.commitment
+        assert boot["disclosure_delay"] == 2
+
+    def test_out_of_range_interval_rejected(self, sender):
+        with pytest.raises(ConfigurationError):
+            sender.packets_for_interval(0)
+        with pytest.raises(ConfigurationError):
+            sender.packets_for_interval(21)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TeslaSender(SEED, 10, disclosure_delay=0)
+        with pytest.raises(ConfigurationError):
+            TeslaSender(SEED, 10, packets_per_interval=0)
+
+
+class TestTeslaAuthentication:
+    def test_loss_free_run_authenticates_everything(self, sender, receiver):
+        events = run_intervals(sender, receiver, 20)
+        # Keys disclosed with d=2: intervals 1..18 verifiable.
+        assert len(outcomes(events, AuthOutcome.AUTHENTICATED)) == 18
+        assert receiver.stats.forged_accepted == 0
+
+    def test_verification_is_retroactive(self, sender, receiver):
+        deliver(receiver, sender.packets_for_interval(1), mid_interval(1))
+        assert receiver.stats.authenticated == 0
+        deliver(receiver, sender.packets_for_interval(2), mid_interval(2))
+        assert receiver.stats.authenticated == 0
+        events = deliver(receiver, sender.packets_for_interval(3), mid_interval(3))
+        assert len(outcomes(events, AuthOutcome.AUTHENTICATED)) == 1
+
+    def test_packet_loss_tolerated(self, sender, receiver):
+        """Losing interval 2 entirely: interval 1 and 3+ still verify."""
+        for i in (1, 3, 4, 5, 6):
+            deliver(receiver, sender.packets_for_interval(i), mid_interval(i))
+        assert 1 in receiver.authenticated_intervals
+        assert 3 in receiver.authenticated_intervals
+        assert 2 not in receiver.authenticated_intervals
+
+    def test_forged_mac_rejected(self, sender, receiver):
+        forged = TeslaPacket(
+            index=3,
+            message=b"f" * 25,
+            mac=b"\x00" * 10,
+            disclosed_index=0,
+            disclosed_key=None,
+            provenance=FORGED,
+        )
+        deliver(receiver, [forged], mid_interval(3))
+        run_intervals(sender, receiver, 6)
+        assert receiver.stats.forged_accepted == 0
+        assert receiver.stats.rejected_forged >= 1
+
+    def test_forged_disclosure_rejected(self, sender, receiver):
+        authentic = sender.packets_for_interval(4)[0]
+        forged = dataclasses.replace(
+            authentic, disclosed_key=b"\xff" * 10, provenance=FORGED
+        )
+        events = deliver(receiver, [forged], mid_interval(4))
+        assert outcomes(events, AuthOutcome.REJECTED_WEAK_AUTH)
+        assert receiver.trusted_index == 0
+
+    def test_stale_packet_discarded_unsafe(self, sender, receiver):
+        packet = sender.packets_for_interval(1)[0]
+        events = deliver(receiver, [packet], mid_interval(5))
+        assert outcomes(events, AuthOutcome.DISCARDED_UNSAFE)
+        assert receiver.stats.authenticated == 0
+
+    def test_replayed_packet_after_disclosure_cannot_authenticate(
+        self, sender, receiver
+    ):
+        """An attacker replaying interval-1 packets after K_1 went public
+        gets stopped by the security condition — TESLA's core defence."""
+        run_intervals(sender, receiver, 5)
+        authenticated_before = receiver.stats.authenticated
+        replay = dataclasses.replace(
+            sender.packets_for_interval(1)[0], provenance=FORGED
+        )
+        events = deliver(receiver, [replay], mid_interval(6))
+        assert outcomes(events, AuthOutcome.DISCARDED_UNSAFE)
+        assert receiver.stats.authenticated == authenticated_before
+
+    def test_duplicate_copies_verify_once(self, sender, receiver):
+        packets = list(sender.packets_for_interval(1)) * 3
+        deliver(receiver, packets, mid_interval(1))
+        events = deliver(receiver, sender.packets_for_interval(3), mid_interval(3))
+        assert len(outcomes(events, AuthOutcome.AUTHENTICATED)) == 1
+
+    def test_wrong_packet_type_raises(self, receiver):
+        with pytest.raises(TypeError):
+            receiver.receive(object(), 0.0)
+
+    def test_buffer_memory_accounted(self, sender, receiver):
+        deliver(receiver, sender.packets_for_interval(1), mid_interval(1))
+        assert receiver.buffered_bits == 280
+        assert receiver.stats.peak_buffer_bits >= 280
+
+    def test_expire_older_than(self, sender, receiver):
+        deliver(receiver, sender.packets_for_interval(1), mid_interval(1))
+        events = receiver.expire_older_than(10)
+        assert outcomes(events, AuthOutcome.EXPIRED_UNVERIFIED)
+        assert receiver.buffered_bits == 0
+
+
+class TestTeslaFloodingVulnerability:
+    def test_keep_first_starves_under_front_loaded_flood(self, sender, condition_d2):
+        """Classic TESLA with tiny buffers loses authentic packets to a
+        front-loaded flood — the motivation for multi-buffer selection."""
+        receiver = TeslaReceiver(
+            sender.chain.commitment, condition_d2, buffer_capacity=2
+        )
+        for i in range(1, 8):
+            forged = [
+                TeslaPacket(i, b"f%02d" % j + b"x" * 22, b"\x00" * 10, 0, None, FORGED)
+                for j in range(2)
+            ]
+            deliver(receiver, forged, mid_interval(i))
+            deliver(receiver, sender.packets_for_interval(i), mid_interval(i))
+        assert receiver.stats.authenticated == 0
+        assert receiver.stats.forged_accepted == 0

@@ -1,0 +1,143 @@
+"""Round-trip and fuzz tests for the wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.packets import (
+    CdmPacket,
+    KeyDisclosurePacket,
+    MacAnnouncePacket,
+    MessageKeyPacket,
+    MuTeslaDataPacket,
+    TeslaPacket,
+)
+from repro.protocols.wire import (
+    decode_packet,
+    encode_packet,
+    framing_overhead_bits,
+)
+
+KEY = b"\x11" * 10
+MAC = b"\x22" * 10
+MSG = b"m" * 25
+
+SAMPLES = [
+    TeslaPacket(7, MSG, MAC, 5, KEY),
+    TeslaPacket(1, MSG, MAC, 0, None),
+    MuTeslaDataPacket(3, MSG, MAC),
+    KeyDisclosurePacket(9, KEY),
+    CdmPacket(4, KEY, MAC, 3, KEY, next_cdm_hash=b"\x33" * 10),
+    CdmPacket(4, KEY, MAC, 0, None, next_cdm_hash=None),
+    MacAnnouncePacket(12, MAC),
+    MessageKeyPacket(11, MSG, KEY),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("packet", SAMPLES, ids=lambda p: type(p).__name__)
+    def test_roundtrip_identity(self, packet):
+        assert decode_packet(encode_packet(packet)) == packet
+
+    def test_empty_message_roundtrips(self):
+        packet = MuTeslaDataPacket(1, b"", MAC)
+        assert decode_packet(encode_packet(packet)) == packet
+
+    def test_encoding_is_deterministic(self):
+        packet = MacAnnouncePacket(5, MAC)
+        assert encode_packet(packet) == encode_packet(packet)
+
+    def test_distinct_packets_distinct_encodings(self):
+        a = encode_packet(MacAnnouncePacket(5, MAC))
+        b = encode_packet(MacAnnouncePacket(6, MAC))
+        assert a != b
+
+    @given(
+        st.integers(min_value=0, max_value=2 ** 32 - 1),
+        st.binary(min_size=0, max_size=255),
+    )
+    @settings(max_examples=60)
+    def test_arbitrary_message_key_roundtrip(self, index, message):
+        packet = MessageKeyPacket(index, message, KEY)
+        assert decode_packet(encode_packet(packet)) == packet
+
+
+class TestFramingOverhead:
+    @pytest.mark.parametrize("packet", SAMPLES, ids=lambda p: type(p).__name__)
+    def test_overhead_is_small_and_nonnegative(self, packet):
+        overhead = framing_overhead_bits(packet)
+        assert 0 <= overhead <= 48  # tag + length/presence bytes only
+
+    def test_announce_frame_is_8_bits_over(self):
+        # 112-bit payload + 1 tag byte = 120 bits on the wire.
+        assert framing_overhead_bits(MacAnnouncePacket(1, MAC)) == 8
+
+
+class TestEncodeValidation:
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_packet(object())  # type: ignore[arg-type]
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_packet(KeyDisclosurePacket(1, b"short"))
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_packet(MessageKeyPacket(1, b"x" * 300, KEY))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_packet(MacAnnouncePacket(-1, MAC))
+
+    def test_oversized_index_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_packet(MacAnnouncePacket(2 ** 40, MAC))
+
+
+class TestDecodeRobustness:
+    def test_empty_buffer(self):
+        with pytest.raises(ProtocolError):
+            decode_packet(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ProtocolError):
+            decode_packet(b"\xff\x00\x00\x00\x01")
+
+    def test_truncation_every_prefix(self):
+        """No prefix of a valid packet decodes (or crashes)."""
+        full = encode_packet(CdmPacket(4, KEY, MAC, 3, KEY, next_cdm_hash=KEY))
+        for cut in range(len(full)):
+            with pytest.raises(ProtocolError):
+                decode_packet(full[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        full = encode_packet(MacAnnouncePacket(1, MAC))
+        with pytest.raises(ProtocolError):
+            decode_packet(full + b"\x00")
+
+    @given(st.binary(min_size=0, max_size=80))
+    @settings(max_examples=200)
+    def test_random_bytes_never_crash(self, data):
+        """Fuzz: arbitrary buffers either decode to a packet or raise
+        ProtocolError — nothing else."""
+        try:
+            packet = decode_packet(data)
+        except ProtocolError:
+            return
+        # whatever decoded must re-encode to the same bytes
+        assert encode_packet(packet) == bytes(data)
+
+    @given(st.binary(min_size=1, max_size=60), st.integers(0, 59))
+    @settings(max_examples=100)
+    def test_bit_flips_never_crash(self, data, position):
+        """Corrupted valid packets are handled like any other buffer."""
+        base = bytearray(encode_packet(MuTeslaDataPacket(3, MSG, MAC)))
+        base[position % len(base)] ^= 0xFF
+        try:
+            decode_packet(bytes(base))
+        except ProtocolError:
+            pass

@@ -1,0 +1,125 @@
+"""Tests for the loss processes and their integration with the medium."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.packets import MacAnnouncePacket
+from repro.sim.channel import BernoulliLoss, GilbertElliottLoss
+from repro.sim.events import Simulator
+from repro.sim.medium import BroadcastMedium, LinkQuality
+
+
+class TestBernoulliLoss:
+    def test_average(self):
+        assert BernoulliLoss(0.3).average_loss() == 0.3
+
+    def test_empirical_rate(self):
+        loss = BernoulliLoss(0.25)
+        rng = random.Random(1)
+        drops = sum(loss.should_drop(rng) for _ in range(20_000))
+        assert drops / 20_000 == pytest.approx(0.25, abs=0.01)
+
+    def test_zero_and_one(self):
+        rng = random.Random(1)
+        assert not any(BernoulliLoss(0.0).should_drop(rng) for _ in range(100))
+        assert all(BernoulliLoss(1.0).should_drop(rng) for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+
+
+class TestGilbertElliott:
+    def test_stationary_share(self):
+        channel = GilbertElliottLoss(0.1, 0.4)
+        assert channel.stationary_bad_share() == pytest.approx(0.2)
+
+    def test_average_loss_formula(self):
+        channel = GilbertElliottLoss(0.1, 0.4, loss_good=0.05, loss_bad=0.9)
+        expected = 0.2 * 0.9 + 0.8 * 0.05
+        assert channel.average_loss() == pytest.approx(expected)
+
+    def test_from_average_hits_target(self):
+        channel = GilbertElliottLoss.from_average(0.2, mean_burst=5.0)
+        assert channel.average_loss() == pytest.approx(0.2, abs=1e-9)
+
+    def test_empirical_average_matches(self):
+        channel = GilbertElliottLoss.from_average(0.2, mean_burst=5.0)
+        rng = random.Random(3)
+        drops = sum(channel.should_drop(rng) for _ in range(100_000))
+        assert drops / 100_000 == pytest.approx(0.2, abs=0.02)
+
+    def test_losses_are_bursty(self):
+        """Consecutive-loss runs are much longer than Bernoulli's at the
+        same average loss."""
+
+        def mean_run(process, rng, n=100_000):
+            runs, current = [], 0
+            for _ in range(n):
+                if process.should_drop(rng):
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            return sum(runs) / max(len(runs), 1)
+
+        bursty = mean_run(
+            GilbertElliottLoss.from_average(0.2, mean_burst=8.0), random.Random(5)
+        )
+        memoryless = mean_run(BernoulliLoss(0.2), random.Random(5))
+        assert bursty > 3 * memoryless
+
+    def test_fade_state_visible(self):
+        channel = GilbertElliottLoss(1.0, 1e-9)
+        rng = random.Random(1)
+        channel.should_drop(rng)
+        assert channel.in_fade
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(1.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss.from_average(0.5, mean_burst=0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss.from_average(
+                0.9, mean_burst=3.0, loss_good=0.0, loss_bad=0.5
+            )
+
+
+class TestMediumIntegration:
+    def test_link_quality_builds_process(self):
+        assert isinstance(LinkQuality(0.3).make_loss_process(), BernoulliLoss)
+        custom = GilbertElliottLoss(0.1, 0.5)
+        assert LinkQuality(loss_process=custom).make_loss_process() is custom
+
+    def test_bursty_link_drops_in_runs(self):
+        simulator = Simulator()
+        medium = BroadcastMedium(simulator, rng=random.Random(2))
+        outcomes = []
+        medium.attach(
+            "node",
+            lambda p, t: outcomes.append(p.index),
+            LinkQuality(
+                delay=0.0,
+                loss_process=GilbertElliottLoss.from_average(0.3, mean_burst=10.0),
+            ),
+        )
+        for i in range(2000):
+            medium.broadcast(MacAnnouncePacket(i + 1, b"m" * 10))
+        simulator.run()
+        received = set(outcomes)
+        # find the longest missing run
+        longest, current = 0, 0
+        for i in range(1, 2001):
+            if i not in received:
+                current += 1
+                longest = max(longest, current)
+            else:
+                current = 0
+        assert longest >= 5  # bursts visible end to end

@@ -1,0 +1,82 @@
+"""Unit tests for the multi-seed experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.experiments import run_config_sweep, run_repeated
+from repro.sim.scenario import ScenarioConfig
+
+BASE = ScenarioConfig(
+    protocol="dap", intervals=25, receivers=2, buffers=3, attack_fraction=0.7
+)
+
+
+class TestRunRepeated:
+    def test_runs_every_seed(self):
+        result = run_repeated(BASE, seeds=[1, 2, 3])
+        assert len(result.results) == 3
+        assert result.seeds == [1, 2, 3]
+
+    def test_estimates_summarise_runs(self):
+        result = run_repeated(BASE, seeds=[1, 2, 3])
+        rates = [r.authentication_rate for r in result.results]
+        assert result.authentication_rate.mean == pytest.approx(
+            sum(rates) / len(rates)
+        )
+        assert result.authentication_rate.count == 3
+
+    def test_security_invariant_aggregated(self):
+        result = run_repeated(BASE, seeds=[1, 2, 3, 4])
+        assert result.total_forged_accepted == 0
+
+    def test_peak_memory_is_worst_case(self):
+        result = run_repeated(BASE, seeds=[1, 2])
+        peaks = [r.fleet.peak_buffer_bits for r in result.results]
+        assert result.peak_buffer_bits == max(peaks)
+
+    def test_variance_exists_under_attack(self):
+        """Different seeds roll different reservoirs."""
+        result = run_repeated(BASE, seeds=list(range(1, 7)))
+        assert result.authentication_rate.std > 0.0
+
+    def test_clean_channel_has_no_variance(self):
+        import dataclasses
+
+        clean = dataclasses.replace(BASE, attack_fraction=0.0)
+        result = run_repeated(clean, seeds=[1, 2, 3])
+        assert result.authentication_rate.mean == 1.0
+        assert result.authentication_rate.std == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_repeated(BASE, seeds=[])
+        with pytest.raises(ConfigurationError):
+            run_repeated(BASE, seeds=[1, 1])
+
+
+class TestRunConfigSweep:
+    def test_sweeps_buffers(self):
+        cells = run_config_sweep(BASE, "buffers", [1, 4, 8], seeds=[1, 2])
+        assert [cell.config.buffers for cell in cells] == [1, 4, 8]
+        rates = [cell.result.authentication_rate.mean for cell in cells]
+        assert rates[0] < rates[-1]
+
+    def test_default_labels(self):
+        cells = run_config_sweep(BASE, "buffers", [2], seeds=[1])
+        assert cells[0].label == "buffers=2"
+
+    def test_custom_labels(self):
+        cells = run_config_sweep(
+            BASE, "attack_fraction", [0.5], seeds=[1], label=lambda v: f"p={v}"
+        )
+        assert cells[0].label == "p=0.5"
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_config_sweep(BASE, "bogus_field", [1], seeds=[1])
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_config_sweep(BASE, "buffers", [], seeds=[1])

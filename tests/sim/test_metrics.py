@@ -1,0 +1,68 @@
+"""Unit tests for fleet metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.metrics import FleetSummary, NodeSummary
+
+
+def make_node(name="n", authenticated=8, lost=2, forged_accepted=0, peak=100):
+    return NodeSummary(
+        name=name,
+        authenticated=authenticated,
+        lost_no_record=lost,
+        rejected_forged=3,
+        rejected_weak_auth=1,
+        discarded_unsafe=0,
+        forged_accepted=forged_accepted,
+        packets_received=50,
+        peak_buffer_bits=peak,
+    )
+
+
+class TestNodeSummary:
+    def test_authentication_rate(self):
+        assert make_node().authentication_rate(10) == pytest.approx(0.8)
+
+    def test_attack_successes_are_losses(self):
+        assert make_node(lost=3).attack_successes == 3
+
+    def test_rate_requires_positive_denominator(self):
+        with pytest.raises(ConfigurationError):
+            make_node().authentication_rate(0)
+
+
+class TestFleetSummary:
+    @pytest.fixture
+    def fleet(self):
+        nodes = (
+            make_node("a", authenticated=8, lost=2, peak=100),
+            make_node("b", authenticated=6, lost=4, peak=300),
+        )
+        return FleetSummary(nodes=nodes, sent_authentic=10)
+
+    def test_node_count(self, fleet):
+        assert fleet.node_count == 2
+
+    def test_totals(self, fleet):
+        assert fleet.total_authenticated == 14
+        assert fleet.total_forged_accepted == 0
+
+    def test_mean_rates(self, fleet):
+        assert fleet.mean_authentication_rate == pytest.approx(0.7)
+        assert fleet.mean_attack_success_rate == pytest.approx(0.3)
+
+    def test_peak_buffer_is_max(self, fleet):
+        assert fleet.peak_buffer_bits == 300
+
+    def test_empty_fleet(self):
+        fleet = FleetSummary(nodes=(), sent_authentic=10)
+        assert fleet.mean_authentication_rate == 0.0
+        assert fleet.peak_buffer_bits == 0
+
+    def test_forged_acceptance_aggregates(self):
+        nodes = (make_node(forged_accepted=1), make_node())
+        fleet = FleetSummary(nodes=nodes, sent_authentic=10)
+        assert fleet.total_forged_accepted == 1

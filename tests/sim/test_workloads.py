@@ -1,0 +1,93 @@
+"""Unit tests for the crowdsensing workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.messages import MESSAGE_BYTES
+from repro.sim.workloads import CrowdsensingWorkload, SensorReport
+
+
+class TestTasks:
+    def test_task_count(self):
+        assert len(CrowdsensingWorkload(num_tasks=7).tasks) == 7
+
+    def test_tasks_on_unit_grid(self):
+        for task in CrowdsensingWorkload(num_tasks=10).tasks:
+            assert 0.0 <= task.x < 1.0
+            assert 0.0 <= task.y < 1.0
+
+    def test_kinds_cycle(self):
+        workload = CrowdsensingWorkload(num_tasks=6, kinds=("a", "b"))
+        kinds = [task.kind for task in workload.tasks]
+        assert kinds == ["a", "b", "a", "b", "a", "b"]
+
+    def test_deterministic_per_seed(self):
+        a = CrowdsensingWorkload(num_tasks=3, seed=5)
+        b = CrowdsensingWorkload(num_tasks=3, seed=5)
+        assert a.tasks == b.tasks
+
+    def test_seed_changes_placement(self):
+        a = CrowdsensingWorkload(num_tasks=3, seed=5)
+        b = CrowdsensingWorkload(num_tasks=3, seed=6)
+        assert a.tasks != b.tasks
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload(num_tasks=0)
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload(kinds=())
+
+
+class TestReadings:
+    def test_deterministic(self):
+        workload = CrowdsensingWorkload(seed=2)
+        assert workload.reading(5, 1) == workload.reading(5, 1)
+
+    def test_varies_over_time(self):
+        workload = CrowdsensingWorkload(seed=2)
+        readings = {workload.reading(i, 0) for i in range(10)}
+        assert len(readings) > 1
+
+    def test_task_baseline_separates(self):
+        workload = CrowdsensingWorkload(num_tasks=3, seed=2)
+        assert workload.reading(1, 2) > workload.reading(1, 0)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload(num_tasks=2).reading(1, 5)
+
+
+class TestReportEncoding:
+    def test_report_is_paper_sized(self):
+        payload = CrowdsensingWorkload().report_for(3, 0)
+        assert len(payload) == MESSAGE_BYTES
+
+    def test_roundtrip(self):
+        report = SensorReport(task_id=7, interval=42, reading=51.25)
+        payload = CrowdsensingWorkload.encode_report(report)
+        assert CrowdsensingWorkload.decode_report(payload) == report
+
+    def test_report_for_decodes(self):
+        workload = CrowdsensingWorkload(num_tasks=3, seed=1)
+        report = CrowdsensingWorkload.decode_report(workload.report_for(9, 2))
+        assert report.interval == 9
+        assert report.task_id == 2
+        assert report.reading == pytest.approx(workload.reading(9, 2))
+
+    def test_copies_cycle_tasks(self):
+        workload = CrowdsensingWorkload(num_tasks=2, seed=1)
+        r0 = CrowdsensingWorkload.decode_report(workload.report_for(1, 0))
+        r2 = CrowdsensingWorkload.decode_report(workload.report_for(1, 2))
+        assert r0.task_id == r2.task_id == 0
+
+    def test_corrupt_padding_detected(self):
+        payload = bytearray(CrowdsensingWorkload().report_for(1, 0))
+        payload[-1] ^= 0xFF
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload.decode_report(bytes(payload))
+
+    def test_wrong_length_detected(self):
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload.decode_report(b"short")

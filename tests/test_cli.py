@@ -1,0 +1,132 @@
+"""CLI tests — each subcommand through ``repro.cli.main``."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conquer"])
+
+
+class TestSolve:
+    def test_prints_candidates_and_realized(self, capsys):
+        assert main(["solve", "--p", "0.8", "--m", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "(X,Y)" in out
+        assert "ESS" in out
+        assert "Euler dynamics reach" in out
+
+    def test_custom_constants(self, capsys):
+        assert main(
+            ["solve", "--p", "0.5", "--m", "5", "--ra", "100", "--k1", "10",
+             "--k2", "2"]
+        ) == 0
+
+    def test_invalid_p_reports_error(self, capsys):
+        assert main(["solve", "--p", "1.5", "--m", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_prints_optimum(self, capsys):
+        assert main(["optimize", "--p", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal m          : 13" in out
+        assert "naive cost" in out
+
+    def test_full_sweep_table(self, capsys):
+        assert main(["optimize", "--p", "0.8", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- optimal" in out
+
+    def test_paper_selection(self, capsys):
+        assert main(["optimize", "--p", "0.8", "--selection", "paper"]) == 0
+        assert "(paper)" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_reports_rates(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "dap", "--p", "0.7", "--buffers", "4",
+             "--intervals", "20", "--receivers", "2", "--seeds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "authentication rate" in out
+        assert "forged accepted     : 0" in out
+
+    def test_clean_run(self, capsys):
+        code = main(
+            ["simulate", "--intervals", "10", "--receivers", "1", "--seeds", "1"]
+        )
+        assert code == 0
+
+
+class TestFigures:
+    def test_writes_all_csvs(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--out", str(tmp_path), "--points", "8", "--no-plots"]
+        )
+        assert code == 0
+        for name in (
+            "fig5_bandwidth.csv",
+            "fig6_regimes.csv",
+            "fig7_optimal_m.csv",
+            "fig8_costs.csv",
+        ):
+            assert (tmp_path / name).exists(), name
+
+    def test_fig8_csv_content(self, tmp_path):
+        main(["figures", "--out", str(tmp_path), "--points", "8", "--no-plots"])
+        with (tmp_path / "fig8_costs.csv").open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 8
+        for row in rows:
+            assert float(row["game_cost"]) <= float(row["naive_cost"]) + 1e-6
+
+    def test_plots_printed(self, tmp_path, capsys):
+        main(["figures", "--out", str(tmp_path), "--points", "8"])
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "Fig. 8" in out
+        assert "Fig. 6 regimes" in out
+
+
+class TestSensitivity:
+    def test_prints_all_constants(self, capsys):
+        assert main(["sensitivity", "--p", "0.8"]) == 0
+        out = capsys.readouterr().out
+        for field in ("ra", "k1", "k2"):
+            assert field in out
+
+
+class TestBoundaries:
+    def test_prints_band_edges(self, capsys):
+        assert main(["boundaries", "--p", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "11.32" in out
+        assert "54.35" in out
+        assert "m=30:(X,Y)" in out
+
+    def test_degenerate_p_reports_error(self, capsys):
+        assert main(["boundaries", "--p", "1.0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPortrait:
+    def test_prints_portrait(self, capsys):
+        assert main(["portrait", "--p", "0.8", "--m", "30", "--grid", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "@" in out
+        assert "rest points" in out

@@ -1,0 +1,107 @@
+"""Package-surface tests: the public API stays importable and coherent."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    AuthenticationError,
+    BufferError_,
+    ConfigurationError,
+    ConvergenceError,
+    CryptoError,
+    GameError,
+    KeyChainError,
+    KeyChainExhaustedError,
+    KeyVerificationError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SecurityConditionError,
+    SimulationError,
+    TimeSyncError,
+)
+
+
+class TestVersion:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            ConfigurationError,
+            CryptoError,
+            KeyChainError,
+            KeyChainExhaustedError,
+            KeyVerificationError,
+            TimeSyncError,
+            SecurityConditionError,
+            ProtocolError,
+            AuthenticationError,
+            BufferError_,
+            GameError,
+            ConvergenceError,
+            SimulationError,
+            SchedulingError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_specialisations(self):
+        assert issubclass(KeyChainExhaustedError, KeyChainError)
+        assert issubclass(SecurityConditionError, TimeSyncError)
+        assert issubclass(ConvergenceError, GameError)
+        assert issubclass(SchedulingError, SimulationError)
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize(
+        "module,name",
+        [
+            ("repro.crypto", "KeyChain"),
+            ("repro.crypto", "TwoLevelKeyChain"),
+            ("repro.timesync", "SecurityCondition"),
+            ("repro.buffers", "ReservoirBuffer"),
+            ("repro.protocols", "DapSender"),
+            ("repro.protocols", "DapReceiver"),
+            ("repro.protocols", "MultiLevelReceiver"),
+            ("repro.protocols", "TeslaPlusPlusReceiver"),
+            ("repro.game", "GameParameters"),
+            ("repro.game", "ReplicatorDynamics"),
+            ("repro.game", "BufferOptimizer"),
+            ("repro.game", "AdaptiveDefense"),
+            ("repro.sim", "run_scenario"),
+            ("repro.sim", "Simulator"),
+            ("repro.analysis", "fig5_series"),
+            ("repro.analysis", "cost_curves"),
+            ("repro.analysis", "regime_bands"),
+        ],
+    )
+    def test_name_exported(self, module, name):
+        import importlib
+
+        mod = importlib.import_module(module)
+        assert hasattr(mod, name)
+        assert name in mod.__all__
+
+    def test_all_lists_are_accurate(self):
+        import importlib
+
+        for module in (
+            "repro",
+            "repro.crypto",
+            "repro.timesync",
+            "repro.buffers",
+            "repro.protocols",
+            "repro.game",
+            "repro.sim",
+            "repro.analysis",
+        ):
+            mod = importlib.import_module(module)
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module}.{name} missing"

@@ -1,0 +1,73 @@
+"""Unit tests for simulation clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timesync.clock import DriftingClock, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_given_time(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimClock().advance(-1.0)
+
+    def test_set_forward(self):
+        clock = SimClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backwards_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ConfigurationError):
+            clock.set(4.0)
+
+    def test_set_same_time_allowed(self):
+        clock = SimClock(5.0)
+        assert clock.set(5.0) == 5.0
+
+
+class TestDriftingClock:
+    def test_zero_skew_tracks_master(self):
+        master = SimClock(3.0)
+        assert DriftingClock(master).now() == 3.0
+
+    def test_offset_applied(self):
+        master = SimClock(10.0)
+        assert DriftingClock(master, offset=0.5).now() == 10.5
+
+    def test_negative_offset(self):
+        master = SimClock(10.0)
+        assert DriftingClock(master, offset=-0.5).now() == 9.5
+
+    def test_drift_grows_with_time(self):
+        master = SimClock(0.0)
+        clock = DriftingClock(master, drift_rate=1e-3)
+        master.set(1000.0)
+        assert clock.now() == pytest.approx(1001.0)
+
+    def test_error_at(self):
+        clock = DriftingClock(SimClock(), offset=0.2, drift_rate=1e-4)
+        assert clock.error_at(100.0) == pytest.approx(0.21)
+
+    def test_extreme_negative_drift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DriftingClock(SimClock(), drift_rate=-1.0)
+
+    def test_drift_and_offset_compose(self):
+        master = SimClock(100.0)
+        clock = DriftingClock(master, offset=1.0, drift_rate=0.01)
+        assert clock.now() == pytest.approx(100.0 * 1.01 + 1.0)

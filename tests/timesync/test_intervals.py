@@ -1,0 +1,128 @@
+"""Unit tests for interval schedules."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.timesync.intervals import IntervalSchedule, TwoLevelSchedule
+
+
+class TestIntervalSchedule:
+    def test_before_start_is_zero(self, schedule):
+        assert schedule.index_at(-0.5) == 0
+
+    def test_first_interval(self, schedule):
+        assert schedule.index_at(0.0) == 1
+        assert schedule.index_at(0.999) == 1
+
+    def test_boundary_belongs_to_next(self, schedule):
+        assert schedule.index_at(1.0) == 2
+
+    def test_start_and_end(self, schedule):
+        assert schedule.start_of(3) == 2.0
+        assert schedule.end_of(3) == 3.0
+
+    def test_contains(self, schedule):
+        assert schedule.contains(2, 1.5)
+        assert not schedule.contains(2, 2.0)
+        assert not schedule.contains(2, 0.5)
+
+    def test_nonzero_start(self):
+        sched = IntervalSchedule(start=10.0, duration=2.0)
+        assert sched.index_at(10.0) == 1
+        assert sched.index_at(13.9) == 2
+        assert sched.start_of(2) == 12.0
+
+    def test_finite_count_clamps(self):
+        sched = IntervalSchedule(0.0, 1.0, count=5)
+        assert sched.index_at(100.0) == 5
+
+    def test_finite_count_bounds_checked(self):
+        sched = IntervalSchedule(0.0, 1.0, count=5)
+        with pytest.raises(ConfigurationError):
+            sched.start_of(6)
+
+    def test_index_below_one_rejected(self, schedule):
+        with pytest.raises(ConfigurationError):
+            schedule.start_of(0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntervalSchedule(0.0, 0.0)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntervalSchedule(0.0, 1.0, count=0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_index_at_start_of_is_identity(self, duration, index):
+        sched = IntervalSchedule(0.0, duration)
+        # Float rounding may land a boundary on either side; mid-interval
+        # must be exact.
+        mid = sched.start_of(index) + duration / 2
+        assert sched.index_at(mid) == index
+
+
+class TestTwoLevelSchedule:
+    @pytest.fixture
+    def two_level(self):
+        return TwoLevelSchedule(start=0.0, low_duration=1.0, low_per_high=4)
+
+    def test_high_duration(self, two_level):
+        assert two_level.high_duration == 4.0
+
+    def test_split_and_flatten_roundtrip(self, two_level):
+        for flat in range(1, 25):
+            high, sub = two_level.split(flat)
+            assert two_level.flatten(high, sub) == flat
+
+    def test_split_values(self, two_level):
+        assert two_level.split(1) == (1, 1)
+        assert two_level.split(4) == (1, 4)
+        assert two_level.split(5) == (2, 1)
+
+    def test_position_at(self, two_level):
+        assert two_level.position_at(-1.0) == (0, 0)
+        assert two_level.position_at(0.5) == (1, 1)
+        assert two_level.position_at(4.5) == (2, 1)
+        assert two_level.position_at(7.5) == (2, 4)
+
+    def test_views_consistent(self, two_level):
+        assert two_level.high_schedule.duration == two_level.high_duration
+        assert two_level.low_schedule.duration == 1.0
+
+    def test_finite_count_propagates(self):
+        sched = TwoLevelSchedule(0.0, 1.0, 4, high_count=3)
+        assert sched.low_schedule.count == 12
+        assert sched.high_schedule.count == 3
+
+    def test_bad_sub_rejected(self, two_level):
+        with pytest.raises(ConfigurationError):
+            two_level.flatten(1, 5)
+        with pytest.raises(ConfigurationError):
+            two_level.flatten(1, 0)
+
+    def test_bad_flat_rejected(self, two_level):
+        with pytest.raises(ConfigurationError):
+            two_level.split(0)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelSchedule(0.0, 0.0, 4)
+        with pytest.raises(ConfigurationError):
+            TwoLevelSchedule(0.0, 1.0, 0)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, low_per_high, flat):
+        sched = TwoLevelSchedule(0.0, 0.5, low_per_high)
+        high, sub = sched.split(flat)
+        assert 1 <= sub <= low_per_high
+        assert sched.flatten(high, sub) == flat
