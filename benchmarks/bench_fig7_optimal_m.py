@@ -8,10 +8,13 @@ p > 0.94) and the corrected argmin (DESIGN.md §5 ablation).
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.analysis.costs import cost_curves, crossover_p
 from repro.analysis.sweep import open_interval_grid
+from repro.engine import ResultCache
 from repro.game.parameters import paper_parameters
 
 from benchmarks.conftest import print_table
@@ -21,12 +24,29 @@ GRID = open_interval_grid(0.0, 1.0, 25, margin=0.02)
 
 def test_fig7_optimal_buffers(benchmark):
     base = paper_parameters(p=0.5, m=1)
+    cache = ResultCache()
 
     def run():
         return (
-            cost_curves(base, GRID, selection="paper"),
-            cost_curves(base, GRID, selection="argmin"),
+            cost_curves(base, GRID, selection="paper", cache=cache),
+            cost_curves(base, GRID, selection="argmin", cache=cache),
         )
+
+    # Cold pass solves every (p, selection) cell; the second pass must
+    # come entirely from the result cache — and be visibly faster.
+    start = time.perf_counter()
+    cold_result = run()
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    warm_result = run()
+    warm = time.perf_counter() - start
+    assert cache.stats.hits >= 2 * len(GRID)
+    assert warm_result == cold_result
+    assert warm < cold
+    print(
+        f"cold sweep {cold * 1e3:.1f} ms -> cached sweep {warm * 1e3:.1f} ms"
+        f" ({cold / warm:.0f}x; {cache.stats.hits} cache hits)"
+    )
 
     paper_mode, argmin_mode = benchmark(run)
 
@@ -79,3 +99,8 @@ def test_fig7_optimal_buffers(benchmark):
     )
     benchmark.extra_info["paper_ms"] = list(zip(GRID, paper_mode.optimal_ms))
     benchmark.extra_info["argmin_ms"] = list(zip(GRID, argmin_ms))
+    benchmark.extra_info["cache"] = {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "hit_rate": cache.stats.hit_rate,
+    }

@@ -8,6 +8,7 @@ optimal buffer count and the cost advantage move.
 
 from __future__ import annotations
 
+from repro.engine import ResultCache
 from repro.game.parameters import paper_parameters
 from repro.game.sensitivity import recommendation_stability, sensitivity_sweep
 
@@ -16,11 +17,17 @@ from benchmarks.conftest import print_table
 
 def test_sensitivity_of_optimal_m(benchmark):
     base = paper_parameters(p=0.8, m=1)
+    cache = ResultCache()
 
     def run():
+        # Shared cache: every benchmark round after the first replays
+        # all 15 solves from it.
         return {
             field: sensitivity_sweep(
-                base, field, [getattr(base, field) * s for s in (0.5, 0.75, 1.0, 1.25, 1.5)]
+                base,
+                field,
+                [getattr(base, field) * s for s in (0.5, 0.75, 1.0, 1.25, 1.5)],
+                cache=cache,
             )
             for field in ("ra", "k1", "k2")
         }
@@ -59,7 +66,9 @@ def test_sensitivity_of_optimal_m(benchmark):
 def test_recommendation_stability_quarter_error(benchmark):
     base = paper_parameters(p=0.8, m=1)
 
-    stability = benchmark(recommendation_stability, base, 0.25, 5)
+    stability = benchmark(
+        recommendation_stability, base, 0.25, 5, cache=ResultCache()
+    )
 
     print_table(
         "A-1: m* range under ±25% misestimation (baseline m*=13)",

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from math import comb
 
-from repro.sim.scenario import ScenarioConfig, run_scenario
+from repro.sim.experiments import run_scenarios
+from repro.sim.scenario import ScenarioConfig
 
 from benchmarks.conftest import print_table
 
@@ -36,22 +37,28 @@ def hypergeometric(authentic: int, forged: int, m: int) -> float:
 
 
 def test_sim_dos_resistance_sweep(benchmark):
+    configs = [
+        ScenarioConfig(
+            protocol="dap",
+            intervals=120,
+            receivers=2,
+            buffers=m,
+            attack_fraction=p,
+            announce_copies=COPIES,
+            seed=21,
+        )
+        for p, m in SWEEP
+    ]
+
     def run():
-        results = []
-        for p, m in SWEEP:
-            scenario = run_scenario(
-                ScenarioConfig(
-                    protocol="dap",
-                    intervals=120,
-                    receivers=2,
-                    buffers=m,
-                    attack_fraction=p,
-                    announce_copies=COPIES,
-                    seed=21,
-                )
-            )
-            results.append((p, m, scenario))
-        return results
+        # One engine batch instead of a bespoke loop: the sweep runs
+        # through run_scenarios, so `--jobs`-style executors apply here
+        # unchanged.
+        scenarios = run_scenarios(configs)
+        return [
+            (p, m, scenario)
+            for (p, m), scenario in zip(SWEEP, scenarios)
+        ]
 
     results = benchmark(run)
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import sys
 
+import numpy as np
+
 from repro.analysis import regime_bands
 from repro.game import (
     ReplicatorDynamics,
@@ -29,13 +31,15 @@ def ascii_portrait(p: float, m: int) -> None:
     dynamics = ReplicatorDynamics(params)
     point, trajectory = realized_ess(params)
 
-    # Rasterise the trajectory and the fixed points onto the grid.
+    # Rasterise the trajectory and the fixed points onto the grid; the
+    # field samples in one batched derivatives call.
+    axis = np.array([j / (GRID - 1) for j in range(GRID)])
+    gx, gy = np.meshgrid(axis, axis)
+    dxs, dys = dynamics.derivatives_batch(gx, gy)
     cells = [[" "] * GRID for _ in range(GRID)]
     for i in range(GRID):
         for j in range(GRID):
-            x = j / (GRID - 1)
-            y = i / (GRID - 1)
-            dx, dy = dynamics.derivatives(x, y)
+            dx, dy = dxs[i, j], dys[i, j]
             if abs(dx) < 1e-9 and abs(dy) < 1e-9:
                 cells[i][j] = "."
             elif abs(dx) > abs(dy):

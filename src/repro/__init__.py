@@ -12,7 +12,10 @@ Layers (see DESIGN.md for the full inventory):
   and the adaptive runtime policy;
 - :mod:`repro.sim` — the discrete-event crowdsensing simulator the
   evaluation runs on;
-- :mod:`repro.analysis` — the models behind the paper's figures.
+- :mod:`repro.analysis` — the models behind the paper's figures;
+- :mod:`repro.engine` — the experiment engine the compute layers run
+  on: pluggable serial/parallel executors and a content-addressed
+  result cache.
 
 Quickstart::
 
@@ -26,7 +29,7 @@ Quickstart::
     print(result.authentication_rate)
 """
 
-from repro import analysis, buffers, crypto, game, protocols, sim, timesync
+from repro import analysis, buffers, crypto, engine, game, protocols, sim, timesync
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -37,6 +40,7 @@ __all__ = [
     "analysis",
     "buffers",
     "crypto",
+    "engine",
     "game",
     "protocols",
     "sim",

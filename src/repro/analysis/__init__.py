@@ -27,6 +27,7 @@ from repro.analysis.boundaries import (
     corner_to_edge_boundary,
     edge_to_interior_boundary,
     interior_to_give_up_boundary,
+    numeric_band_mismatches,
     regime_boundaries,
 )
 from repro.analysis.costs import CostCurves, CostPoint, cost_curves, crossover_p
@@ -67,6 +68,7 @@ __all__ = [
     "corner_to_edge_boundary",
     "edge_to_interior_boundary",
     "interior_to_give_up_boundary",
+    "numeric_band_mismatches",
     "regime_boundaries",
     "ascii_series_plot",
     "attack_success_hypergeometric",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.game.parameters import GameParameters
@@ -32,6 +32,7 @@ __all__ = [
     "edge_to_interior_boundary",
     "interior_to_give_up_boundary",
     "regime_boundaries",
+    "numeric_band_mismatches",
 ]
 
 
@@ -167,3 +168,41 @@ def regime_boundaries(params: GameParameters) -> RegimeBoundaries:
         edge_to_interior=edge_to_interior_boundary(params),
         interior_to_give_up=interior_to_give_up_boundary(params),
     )
+
+
+def numeric_band_mismatches(
+    params: GameParameters,
+    m_values: Sequence[int],
+    x0: float = 0.5,
+    y0: float = 0.5,
+    dt: float = 0.01,
+    max_steps: int = 200_000,
+) -> List[int]:
+    """``m`` values whose analytic band disagrees with the dynamics.
+
+    Cross-validates :func:`regime_boundaries` against the paper's own
+    Euler iteration: the whole ``m`` grid integrates as one
+    :class:`~repro.game.replicator.BatchedReplicator` batch and each
+    endpoint's §V-E label is compared with :meth:`RegimeBoundaries.band_of`.
+    An empty list means the closed forms and the simulation agree
+    everywhere; the known Euler clipping artifact (EXPERIMENTS.md F-6)
+    shows up as one or two ``m`` hugging the ``(1,Y')``/interior edge.
+    """
+    from repro.game.ess import label_point
+    from repro.game.replicator import BatchedReplicator
+
+    if not m_values:
+        raise ConfigurationError("m_values must be non-empty")
+    bands = regime_boundaries(params)
+    cells = [params.with_m(m) for m in m_values]
+    batch = BatchedReplicator(cells).integrate(
+        x0=x0, y0=y0, dt=dt, max_steps=max_steps
+    )
+    mismatches: List[int] = []
+    for index, (m, cell) in enumerate(zip(m_values, cells)):
+        fx, fy = batch.final(index)
+        label = label_point(cell, fx, fy, tol=5e-2)
+        realized = label.value if label is not None else None
+        if realized != bands.band_of(m):
+            mismatches.append(m)
+    return mismatches

@@ -20,8 +20,9 @@ policy. Both beat the naive defense everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.engine import Executor, ResultCache, run_tasks
 from repro.errors import ConfigurationError
 from repro.game.ess import EssType
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
@@ -90,13 +91,40 @@ class CostCurves:
         return all(point.game_cost <= point.naive_cost + 1e-9 for point in self.points)
 
 
+def _cost_point_worker(
+    task: Tuple[GameParameters, float, str, Optional[int]],
+) -> CostPoint:
+    """Engine task: solve one attack level's game and price both defenses."""
+    base, p, selection, m_max = task
+    params = base.with_p(p).with_m(1)
+    optimizer = BufferOptimizer(params)
+    result = optimizer.optimize(m_max=m_max, selection=selection)
+    row = result.row_for(result.optimal_m)
+    return CostPoint(
+        p=p,
+        optimal_m=result.optimal_m,
+        ess_type=row.ess_type,
+        x=row.x,
+        y=row.y,
+        game_cost=row.cost,
+        naive_cost=naive_defense_cost(params),
+    )
+
+
 def cost_curves(
     base: GameParameters,
     attack_levels: Sequence[float],
     selection: str = "paper",
     m_max: Optional[int] = None,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CostCurves:
     """Sweep attack levels and evaluate both defenses.
+
+    Each attack level is one engine task (a full Algorithm 3 solve), so
+    the Fig. 7/8 grids parallelise across cores with
+    ``executor=ParallelExecutor(...)`` and regenerate from ``cache``
+    for free when the grid has not changed.
 
     Args:
         base: economic constants; ``base.p``/``base.m`` are overridden.
@@ -104,26 +132,19 @@ def cost_curves(
             — at exactly 0 or 1 the game degenerates).
         selection: Algorithm 3 mode, ``"paper"`` or ``"argmin"``.
         m_max: sweep cap (defaults to ``base.max_buffers``).
+        executor: where the attack levels solve (default: serial).
+        cache: reuse attack levels that already solved.
     """
     if not attack_levels:
         raise ConfigurationError("attack_levels must be non-empty")
-    points: List[CostPoint] = []
-    for p in attack_levels:
-        params = base.with_p(p).with_m(1)
-        optimizer = BufferOptimizer(params)
-        result = optimizer.optimize(m_max=m_max, selection=selection)
-        row = result.row_for(result.optimal_m)
-        points.append(
-            CostPoint(
-                p=p,
-                optimal_m=result.optimal_m,
-                ess_type=row.ess_type,
-                x=row.x,
-                y=row.y,
-                game_cost=row.cost,
-                naive_cost=naive_defense_cost(params),
-            )
-        )
+    points = run_tasks(
+        _cost_point_worker,
+        tuple((base, p, selection, m_max) for p in attack_levels),
+        executor=executor,
+        cache=cache,
+        label=f"cost_curves[{selection}]",
+        task_labels=tuple(f"p={p}" for p in attack_levels),
+    )
     return CostCurves(points=tuple(points), selection=selection)
 
 

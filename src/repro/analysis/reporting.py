@@ -12,6 +12,8 @@ import csv
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.game.ess import fixed_points, realized_ess
 from repro.game.parameters import GameParameters
@@ -128,12 +130,13 @@ def ascii_phase_portrait(params: GameParameters, grid: int = 21) -> str:
     dynamics = ReplicatorDynamics(params)
     point, trajectory = realized_ess(params)
 
+    axis = np.array([j / (grid - 1) for j in range(grid)])
+    gx, gy = np.meshgrid(axis, axis)
+    dxs, dys = dynamics.derivatives_batch(gx, gy)
     cells = [[" "] * grid for _ in range(grid)]
     for i in range(grid):
         for j in range(grid):
-            x = j / (grid - 1)
-            y = i / (grid - 1)
-            dx, dy = dynamics.derivatives(x, y)
+            dx, dy = dxs[i, j], dys[i, j]
             if abs(dx) < 1e-9 and abs(dy) < 1e-9:
                 cells[i][j] = "."
             elif abs(dx) > abs(dy):

@@ -1,12 +1,20 @@
-"""Small parameter-sweep utilities shared by benches and examples."""
+"""Small parameter-sweep utilities shared by benches and examples.
+
+:func:`sweep` evaluates through the experiment engine: the default is
+the old deterministic in-order loop, but any engine executor/cache pair
+plugs straight in (``fn`` must then be a picklable module-level
+callable for process pools, and operate on picklable values for
+caching).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from repro.engine import Executor, ResultCache, run_tasks
 from repro.errors import ConfigurationError
 
 __all__ = ["open_interval_grid", "SweepResult", "sweep"]
@@ -46,8 +54,29 @@ class SweepResult(Generic[T, V]):
         return len(self.inputs)
 
 
-def sweep(values: Sequence[T], fn: Callable[[T], V]) -> SweepResult[T, V]:
-    """Evaluate ``fn`` over ``values`` and keep inputs and outputs paired."""
+def sweep(
+    values: Sequence[T],
+    fn: Callable[[T], V],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult[T, V]:
+    """Evaluate ``fn`` over ``values`` and keep inputs and outputs paired.
+
+    Args:
+        executor: engine executor (default: serial, input order).
+        cache: engine result cache (inputs already swept are reused).
+    """
     inputs = tuple(values)
-    outputs = tuple(fn(value) for value in inputs)
+    if not inputs:
+        return SweepResult(inputs=(), outputs=())
+    outputs = tuple(
+        run_tasks(
+            fn,
+            inputs,
+            executor=executor,
+            cache=cache,
+            label="sweep",
+            task_labels=tuple(f"value={value!r}" for value in inputs),
+        )
+    )
     return SweepResult(inputs=inputs, outputs=outputs)

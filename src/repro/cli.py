@@ -31,6 +31,7 @@ from repro.analysis.reporting import (
 )
 from repro.analysis.sweep import open_interval_grid
 from repro.analysis.trajectories import regime_bands
+from repro.engine import Executor, ResultCache, executor_for
 from repro.errors import ReproError
 from repro.game.ess import fixed_points, realized_ess
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
@@ -49,6 +50,27 @@ def _add_game_constants(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-buffers", type=int, default=50, help="hardware buffer cap M"
     )
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run engine tasks on N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the in-memory result cache",
+    )
+
+
+def _engine(args: argparse.Namespace) -> "tuple[Executor, Optional[ResultCache]]":
+    executor = executor_for(args.jobs)
+    cache = None if args.no_cache else ResultCache()
+    return executor, cache
 
 
 def _params(args: argparse.Namespace, m: int = 1) -> GameParameters:
@@ -98,11 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--receivers", type=int, default=5)
     simulate.add_argument("--loss", type=float, default=0.0)
     simulate.add_argument("--seeds", type=int, default=5, help="repetitions")
+    _add_engine_flags(simulate)
 
     figures = sub.add_parser("figures", help="regenerate Fig. 5-8 data")
     figures.add_argument("--out", type=Path, default=Path("figures"))
     figures.add_argument("--points", type=int, default=25, help="sweep resolution")
     figures.add_argument("--no-plots", action="store_true", help="CSV only")
+    _add_engine_flags(figures)
 
     sensitivity = sub.add_parser(
         "sensitivity", help="robustness of m* to Ra, k1, k2"
@@ -112,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--error", type=float, default=0.25, help="relative perturbation"
     )
     _add_game_constants(sensitivity)
+    _add_engine_flags(sensitivity)
 
     portrait = sub.add_parser("portrait", help="ASCII phase portrait")
     portrait.add_argument("--p", type=float, required=True)
@@ -189,7 +214,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         attack_fraction=args.p,
         loss_probability=args.loss,
     )
-    outcome = run_repeated(config, seeds=list(range(1, args.seeds + 1)))
+    executor, cache = _engine(args)
+    outcome = run_repeated(
+        config,
+        seeds=list(range(1, args.seeds + 1)),
+        executor=executor,
+        cache=cache,
+    )
     print(f"protocol            : {args.protocol}")
     print(f"attack fraction     : {args.p}   loss: {args.loss}")
     print(f"buffers m           : {args.buffers}")
@@ -207,6 +238,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     out: Path = args.out
     base = paper_parameters(p=0.5, m=1)
     grid = open_interval_grid(0.0, 1.0, args.points, margin=0.02)
+    executor, cache = _engine(args)
 
     # Fig. 5
     levels = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
@@ -234,7 +266,9 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
     # Fig. 7 + 8
     curves = {
-        selection: cost_curves(base, grid, selection=selection)
+        selection: cost_curves(
+            base, grid, selection=selection, executor=executor, cache=cache
+        )
         for selection in ("paper", "argmin")
     }
     path7 = write_csv(
@@ -299,7 +333,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     params = _params(args)
-    stability = recommendation_stability(params, relative_error=args.error)
+    executor, cache = _engine(args)
+    stability = recommendation_stability(
+        params, relative_error=args.error, executor=executor, cache=cache
+    )
     rows = [
         (field, f"±{args.error:.0%}", low, baseline, high)
         for field, (low, baseline, high) in stability.items()

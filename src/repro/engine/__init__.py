@@ -1,0 +1,48 @@
+"""Unified experiment engine: specs, executors, caching, one runner.
+
+Every layer of this repository repeats work — scenario seeds, sweep
+cells, attack-level grids, sensitivity perturbations. This package
+gives them one execution substrate instead of a bespoke loop each:
+
+- :class:`ExperimentSpec` — a picklable worker applied to a tuple of
+  picklable task payloads (the universal shape of repeated work);
+- :class:`SerialExecutor` / :class:`ParallelExecutor` — deterministic
+  in-process execution or a ``ProcessPoolExecutor`` fan-out across
+  cores, selected by the ``--jobs`` flag / ``executor=`` keyword;
+- :class:`ResultCache` — content-addressed results
+  (:func:`stable_key` over the frozen config + code version) behind an
+  in-memory LRU with an optional on-disk JSON layer;
+- :class:`Runner` — cache lookup, executor dispatch of the misses,
+  ordered reassembly; :func:`run_tasks` is the one-call front door.
+
+Guarantees: results are in task order, independent of executor choice
+and cache state (serial == parallel == cached, bit for bit); a failing
+task surfaces as :class:`~repro.errors.TaskError` naming the task
+(e.g. ``seed=3``) with the original exception chained.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_for,
+)
+from repro.engine.hashing import CODE_VERSION, stable_key
+from repro.engine.runner import Runner, RunReport, run_tasks
+from repro.engine.spec import ExperimentSpec
+
+__all__ = [
+    "CODE_VERSION",
+    "CacheStats",
+    "Executor",
+    "ExperimentSpec",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunReport",
+    "Runner",
+    "SerialExecutor",
+    "executor_for",
+    "run_tasks",
+    "stable_key",
+]

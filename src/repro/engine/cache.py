@@ -1,0 +1,179 @@
+"""Content-addressed result cache: in-memory LRU + optional JSON store.
+
+Every repeated-seed run, parameter sweep and CLI figure funnels its
+per-task results through :class:`ResultCache` keyed by
+:func:`repro.engine.stable_key` of ``(code version, worker, task)``.
+Re-running a bench or a figure therefore only recomputes the cells
+whose configuration actually changed; everything else is an O(1)
+dictionary hit.
+
+Two layers:
+
+- an in-memory LRU (always on) holding live Python objects — this is
+  what makes the *second* run of a bench nearly free;
+- an optional on-disk JSON store (``directory=...``) for results that
+  survive the process. Values must round-trip through JSON; supply
+  ``encode``/``decode`` hooks for richer objects, or leave the
+  directory unset to keep the cache purely in-memory. Disk entries are
+  one file per key, so concurrent readers never see torn writes
+  (writes go through a temp file + atomic rename).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache", "CacheStats"]
+
+_MISS = object()
+
+
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache`."""
+
+    __slots__ = ("hits", "misses", "stores", "disk_hits")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_hits = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses},"
+            f" stores={self.stores}, disk_hits={self.disk_hits})"
+        )
+
+
+class ResultCache:
+    """LRU result cache with an optional on-disk JSON layer.
+
+    Args:
+        max_entries: in-memory capacity; least-recently-used entries
+            are evicted past it (the disk layer, when enabled, keeps
+            its copies).
+        directory: when set, results are mirrored to
+            ``directory/<key>.json`` and read back on a memory miss.
+        encode / decode: JSON (de)serialisation hooks for the disk
+            layer; default to identity (values must then already be
+            JSON-representable or a miss is recorded and the value
+            recomputed).
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        directory: Optional[Path] = None,
+        encode: Optional[Callable[[Any], Any]] = None,
+        decode: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._max_entries = max_entries
+        self._directory = Path(directory) if directory is not None else None
+        self._encode = encode or (lambda value: value)
+        self._decode = decode or (lambda payload: payload)
+        self.stats = CacheStats()
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # lookup / store
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for ``key``; refreshes LRU recency on hit."""
+        value = self._entries.get(key, _MISS)
+        if value is not _MISS:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True, value
+        value = self._disk_lookup(key)
+        if value is not _MISS:
+            self._remember(key, value)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def store(self, key: str, value: Any) -> None:
+        """Record ``value`` under ``key`` in memory (and on disk if
+        configured and the encoded value is JSON-serialisable)."""
+        self._remember(key, value)
+        self.stats.stores += 1
+        self._disk_store(key, value)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk entries are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{key}.json"
+
+    def _disk_lookup(self, key: str) -> Any:
+        if self._directory is None:
+            return _MISS
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return _MISS
+        return self._decode(payload)
+
+    def _disk_store(self, key: str, value: Any) -> None:
+        if self._directory is None:
+            return
+        try:
+            payload = json.dumps(self._encode(value))
+        except TypeError:
+            return  # not JSON-representable; in-memory layer still holds it
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self._directory), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, self._path(key))
+        except OSError:  # pragma: no cover - disk full etc.
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass

@@ -1,0 +1,118 @@
+"""Content addressing for experiment results.
+
+A cache across sim/game/analysis only works if two logically identical
+configurations map to the same key on every run and every worker
+process. Python's built-in ``hash`` is salted per process and ``repr``
+is not guaranteed canonical, so this module defines its own stable
+reduction: every supported value is folded into a SHA-256 over a
+type-tagged canonical byte stream.
+
+Supported values are the ones experiment configs are made of — ``None``,
+bools, ints, floats, strings, bytes, tuples/lists, dicts (sorted by
+key digest), sets/frozensets (sorted by element digest), enums, numpy
+scalars/arrays, and **frozen dataclasses** (tagged with their qualified
+class name, so ``ScenarioConfig`` and ``GameParameters`` keys can never
+collide). Anything else raises :class:`~repro.errors.CacheKeyError`
+rather than silently producing an unstable key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import CacheKeyError
+
+__all__ = ["stable_key", "CODE_VERSION"]
+
+#: Folded into every cache key. Bump when a semantics-changing release
+#: ships so stale on-disk entries can never satisfy a lookup from newer
+#: code (the package version is the coarse-grained code fingerprint).
+CODE_VERSION = "repro-engine-1"
+
+
+def _update(h: "hashlib._Hash", tag: bytes, payload: bytes = b"") -> None:
+    # Length-prefix both fields so concatenations can't alias
+    # (e.g. ("ab", "c") vs ("a", "bc")).
+    h.update(struct.pack(">B", len(tag)))
+    h.update(tag)
+    h.update(struct.pack(">Q", len(payload)))
+    h.update(payload)
+
+
+def _fold(h: "hashlib._Hash", value: Any) -> None:
+    if value is None:
+        _update(h, b"none")
+    elif isinstance(value, np.generic):
+        # Before the scalar branches: np.float64 subclasses float but
+        # repr()s differently — fold the equivalent Python scalar.
+        _fold(h, value.item())
+    elif isinstance(value, bool):  # before int: bool is an int subclass
+        _update(h, b"bool", b"\x01" if value else b"\x00")
+    elif isinstance(value, int):
+        _update(h, b"int", str(value).encode("ascii"))
+    elif isinstance(value, float):
+        # repr() round-trips doubles exactly and distinguishes -0.0/nan.
+        _update(h, b"float", repr(value).encode("ascii"))
+    elif isinstance(value, str):
+        _update(h, b"str", value.encode("utf-8"))
+    elif isinstance(value, bytes):
+        _update(h, b"bytes", value)
+    elif isinstance(value, enum.Enum):
+        _update(h, b"enum", type(value).__qualname__.encode("utf-8"))
+        _fold(h, value.value)
+    elif isinstance(value, np.ndarray):
+        canonical = np.ascontiguousarray(value)
+        _update(h, b"ndarray", str(canonical.dtype).encode("ascii"))
+        _update(h, b"shape", str(canonical.shape).encode("ascii"))
+        _update(h, b"data", canonical.tobytes())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        _update(
+            h,
+            b"dataclass",
+            f"{type(value).__module__}.{type(value).__qualname__}".encode("utf-8"),
+        )
+        for field in dataclasses.fields(value):
+            _update(h, b"field", field.name.encode("utf-8"))
+            _fold(h, getattr(value, field.name))
+    elif isinstance(value, (tuple, list)):
+        _update(h, b"tuple" if isinstance(value, tuple) else b"list")
+        for item in value:
+            _fold(h, item)
+        _update(h, b"end")
+    elif isinstance(value, dict):
+        _update(h, b"dict")
+        entries = sorted(
+            (stable_key(key), key, item) for key, item in value.items()
+        )
+        for _digest, key, item in entries:
+            _fold(h, key)
+            _fold(h, item)
+        _update(h, b"end")
+    elif isinstance(value, (set, frozenset)):
+        _update(h, b"set")
+        for digest in sorted(stable_key(item) for item in value):
+            _update(h, b"item", digest.encode("ascii"))
+        _update(h, b"end")
+    else:
+        raise CacheKeyError(
+            f"cannot derive a stable cache key for {type(value).__qualname__}"
+            f" value {value!r}"
+        )
+
+
+def stable_key(value: Any) -> str:
+    """Deterministic SHA-256 hex digest of ``value``'s content.
+
+    Stable across processes, interpreter restarts and (for the
+    supported types) platforms; two values share a key iff they are
+    structurally equal including their types.
+    """
+    h = hashlib.sha256()
+    _fold(h, value)
+    return h.hexdigest()

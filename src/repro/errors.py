@@ -24,6 +24,9 @@ __all__ = [
     "ConvergenceError",
     "SimulationError",
     "SchedulingError",
+    "EngineError",
+    "TaskError",
+    "CacheKeyError",
 ]
 
 
@@ -99,3 +102,32 @@ class SimulationError(ReproError):
 
 class SchedulingError(SimulationError):
     """An event was scheduled in the past or after the simulation horizon."""
+
+
+class EngineError(ReproError):
+    """Base class for experiment-engine failures."""
+
+
+class TaskError(EngineError):
+    """One task of an experiment batch failed.
+
+    The experiment engine isolates per-task failures: the original
+    exception is chained (``__cause__``) and the failing task is
+    identified by ``label`` (e.g. ``"seed=3"``) and ``index`` so a
+    thousand-cell sweep never reports a bare traceback with no clue
+    which cell died.
+    """
+
+    def __init__(self, message: str, label: str = "", index: int = -1) -> None:
+        super().__init__(message)
+        self.label = label
+        self.index = index
+
+
+class CacheKeyError(EngineError, TypeError):
+    """A value could not be reduced to a stable content-address.
+
+    Raised by :func:`repro.engine.stable_key` for objects with no
+    canonical byte representation (open files, lambdas, ...); callers
+    either make the config picklable-and-frozen or skip caching.
+    """

@@ -46,6 +46,8 @@ from repro.game.payoff import (
 from repro.game.replicator import (
     PAPER_INITIAL_SHARES,
     PAPER_TIME_STEP,
+    BatchedReplicator,
+    BatchTrajectories,
     ReplicatorDynamics,
     Trajectory,
 )
@@ -63,6 +65,8 @@ from repro.game.sensitivity import (
 __all__ = [
     "AdaptiveDefense",
     "AttackEstimator",
+    "BatchTrajectories",
+    "BatchedReplicator",
     "BestResponseDynamics",
     "BestResponseTrajectory",
     "BufferOptimizer",

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.engine import Executor, ResultCache, run_tasks
 from repro.errors import ConfigurationError
 from repro.game.ess import EssType
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
@@ -42,13 +43,38 @@ class SensitivityPoint:
         return self.naive_cost - self.game_cost
 
 
+def _sensitivity_worker(
+    task: Tuple[GameParameters, str, float, str],
+) -> SensitivityPoint:
+    """Engine task: one perturbed constant, one full re-optimisation."""
+    base, field, value, selection = task
+    params = dataclasses.replace(base, **{field: float(value)})
+    result = BufferOptimizer(params.with_m(1)).optimize(selection=selection)
+    row = result.row_for(result.optimal_m)
+    return SensitivityPoint(
+        field=field,
+        value=float(value),
+        optimal_m=result.optimal_m,
+        ess_type=row.ess_type,
+        game_cost=row.cost,
+        naive_cost=naive_defense_cost(params),
+    )
+
+
 def sensitivity_sweep(
     base: GameParameters,
     field: str,
     values: Sequence[float],
     selection: str = "argmin",
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[SensitivityPoint]:
     """Re-solve the game across perturbed values of one constant.
+
+    Each perturbation is one engine task (an Algorithm 3 solve);
+    ``executor`` fans them across cores and ``cache`` reuses values
+    already solved — e.g. the unperturbed baseline shared by every
+    constant's grid.
 
     Args:
         base: the reference parameters (``base.m`` is re-optimised at
@@ -56,6 +82,8 @@ def sensitivity_sweep(
         field: one of ``ra``, ``k1``, ``k2``.
         values: constant values to evaluate.
         selection: Algorithm 3 mode.
+        executor: where the perturbations solve (default: serial).
+        cache: reuse perturbations that already solved.
     """
     if field not in _ECONOMIC_FIELDS:
         raise ConfigurationError(
@@ -63,22 +91,14 @@ def sensitivity_sweep(
         )
     if not values:
         raise ConfigurationError("values must be non-empty")
-    points: List[SensitivityPoint] = []
-    for value in values:
-        params = dataclasses.replace(base, **{field: float(value)})
-        result = BufferOptimizer(params.with_m(1)).optimize(selection=selection)
-        row = result.row_for(result.optimal_m)
-        points.append(
-            SensitivityPoint(
-                field=field,
-                value=float(value),
-                optimal_m=result.optimal_m,
-                ess_type=row.ess_type,
-                game_cost=row.cost,
-                naive_cost=naive_defense_cost(params),
-            )
-        )
-    return points
+    return run_tasks(
+        _sensitivity_worker,
+        tuple((base, field, float(value), selection) for value in values),
+        executor=executor,
+        cache=cache,
+        label=f"sensitivity_sweep[{field}]",
+        task_labels=tuple(f"{field}={float(value)}" for value in values),
+    )
 
 
 def recommendation_stability(
@@ -86,6 +106,8 @@ def recommendation_stability(
     relative_error: float = 0.25,
     steps: int = 5,
     selection: str = "argmin",
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> dict:
     """How far the optimal ``m`` moves under ±``relative_error`` in each
     constant.
@@ -112,7 +134,10 @@ def recommendation_stability(
             centre * (1.0 - relative_error + 2.0 * relative_error * i / (steps - 1))
             for i in range(steps)
         ]
-        points = sensitivity_sweep(base, field, values, selection=selection)
+        points = sensitivity_sweep(
+            base, field, values, selection=selection,
+            executor=executor, cache=cache,
+        )
         ms = [point.optimal_m for point in points]
         outcome[field] = (min(ms), baseline, max(ms))
     return outcome

@@ -23,6 +23,7 @@ from repro.sim.experiments import (
     SweepCell,
     run_config_sweep,
     run_repeated,
+    run_scenarios,
 )
 from repro.sim.medium import BroadcastMedium, LinkQuality
 from repro.sim.metrics import FleetSummary, NodeSummary, summarise_nodes
@@ -66,6 +67,7 @@ __all__ = [
     "forged_copies_for_fraction",
     "message_key_forgery_factory",
     "run_scenario",
+    "run_scenarios",
     "summarise_nodes",
     "tesla_forgery_factory",
 ]

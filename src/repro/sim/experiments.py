@@ -4,6 +4,14 @@ Single simulation runs are noisy (the reservoir is random); credible
 evaluation repeats each configuration across seeds and reports means
 with confidence intervals. This module is what the simulation benches
 and the sweep-style examples build on.
+
+Every repetition goes through the :mod:`repro.engine` runner: pass
+``executor=ParallelExecutor(jobs=N)`` to fan seeds and sweep cells out
+across cores, and ``cache=ResultCache()`` to skip cells whose frozen
+:class:`ScenarioConfig` already ran. Results are identical whichever
+executor runs them — scenarios are pure functions of their config — and
+a crashed cell surfaces as :class:`~repro.errors.TaskError` naming its
+seed instead of an anonymous traceback halfway through a sweep.
 """
 
 from __future__ import annotations
@@ -13,10 +21,55 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.statistics import MeanEstimate, mean_estimate
+from repro.engine import Executor, ResultCache, run_tasks
 from repro.errors import ConfigurationError
 from repro.sim.scenario import ScenarioConfig, ScenarioResult, run_scenario
 
-__all__ = ["RepeatedResult", "run_repeated", "SweepCell", "run_config_sweep"]
+__all__ = [
+    "RepeatedResult",
+    "run_scenarios",
+    "run_repeated",
+    "SweepCell",
+    "run_config_sweep",
+]
+
+
+def _scenario_worker(config: ScenarioConfig) -> ScenarioResult:
+    """Engine task: one scenario, stripped to its picklable measurements.
+
+    Live :class:`~repro.sim.nodes.ReceiverNode` objects are dropped
+    (``nodes=()``) so results ship identically from a worker process
+    and from an in-process loop; every metric the experiment layer
+    aggregates lives in the frozen ``fleet`` summary.
+    """
+    return dataclasses.replace(run_scenario(config), nodes=())
+
+
+def run_scenarios(
+    configs: Sequence[ScenarioConfig],
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[ScenarioResult]:
+    """Run a batch of scenarios through the experiment engine.
+
+    The workhorse behind :func:`run_repeated` and
+    :func:`run_config_sweep`, exposed for benches and examples that
+    sweep hand-built config grids: results come back in config order,
+    computed serially or across cores depending on ``executor``, with
+    per-config caching when ``cache`` is given.
+    """
+    if not configs:
+        raise ConfigurationError("configs must be non-empty")
+    return run_tasks(
+        _scenario_worker,
+        tuple(configs),
+        executor=executor,
+        cache=cache,
+        label="scenarios",
+        task_labels=tuple(
+            f"{config.protocol}/seed={config.seed}" for config in configs
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -26,7 +79,8 @@ class RepeatedResult:
     Attributes:
         config: the base configuration (its ``seed`` field is the first
             seed used).
-        results: per-seed scenario results, seed order.
+        results: per-seed scenario results, seed order (``nodes`` are
+            stripped — the measurements live in each ``fleet``).
         authentication_rate: fleet-mean auth rate, with spread.
         attack_success_rate: fleet-mean attack success, with spread.
         total_forged_accepted: summed across every seed and node —
@@ -47,25 +101,11 @@ class RepeatedResult:
         return [result.config.seed for result in self.results]
 
 
-def run_repeated(
+def _aggregate(
     config: ScenarioConfig,
-    seeds: Sequence[int],
-    confidence: float = 0.95,
+    results: Sequence[ScenarioResult],
+    confidence: float,
 ) -> RepeatedResult:
-    """Run ``config`` once per seed and aggregate.
-
-    Args:
-        config: base configuration; its own ``seed`` is ignored.
-        seeds: the seeds to run (>= 1; >= 2 for meaningful intervals).
-        confidence: confidence level for the reported intervals.
-    """
-    if not seeds:
-        raise ConfigurationError("seeds must be non-empty")
-    if len(set(seeds)) != len(seeds):
-        raise ConfigurationError("seeds must be distinct")
-    results = [
-        run_scenario(dataclasses.replace(config, seed=seed)) for seed in seeds
-    ]
     return RepeatedResult(
         config=config,
         results=tuple(results),
@@ -78,6 +118,41 @@ def run_repeated(
         total_forged_accepted=sum(r.fleet.total_forged_accepted for r in results),
         peak_buffer_bits=max(r.fleet.peak_buffer_bits for r in results),
     )
+
+
+def _check_seeds(seeds: Sequence[int]) -> None:
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError("seeds must be distinct")
+
+
+def run_repeated(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> RepeatedResult:
+    """Run ``config`` once per seed and aggregate.
+
+    Args:
+        config: base configuration; its own ``seed`` is ignored.
+        seeds: the seeds to run (>= 1; >= 2 for meaningful intervals).
+        confidence: confidence level for the reported intervals.
+        executor: where the seeds run (default: serial, in order).
+        cache: reuse results for seeds that already ran.
+    """
+    _check_seeds(seeds)
+    results = run_tasks(
+        _scenario_worker,
+        tuple(dataclasses.replace(config, seed=seed) for seed in seeds),
+        executor=executor,
+        cache=cache,
+        label=f"run_repeated[{config.protocol}]",
+        task_labels=tuple(f"seed={seed}" for seed in seeds),
+    )
+    return _aggregate(config, results, confidence)
 
 
 @dataclass(frozen=True)
@@ -96,8 +171,14 @@ def run_config_sweep(
     seeds: Sequence[int],
     label: Optional[Callable[[object], str]] = None,
     confidence: float = 0.95,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[SweepCell]:
     """Sweep one :class:`ScenarioConfig` field across ``values``.
+
+    The whole ``values x seeds`` grid is flattened into a single engine
+    batch, so a parallel executor overlaps *across cells as well as
+    seeds* rather than filling cores one cell at a time.
 
     Args:
         base: configuration shared by every cell.
@@ -106,6 +187,8 @@ def run_config_sweep(
         values: values for the swept field.
         seeds: seeds per cell.
         label: cell-label formatter (defaults to ``f"{axis}={value}"``).
+        executor: where the grid runs (default: serial, in order).
+        cache: reuse any cell/seed that already ran.
 
     Returns:
         one :class:`SweepCell` per value, in order.
@@ -114,15 +197,34 @@ def run_config_sweep(
         raise ConfigurationError("values must be non-empty")
     if axis not in {field.name for field in dataclasses.fields(ScenarioConfig)}:
         raise ConfigurationError(f"unknown ScenarioConfig field {axis!r}")
+    _check_seeds(seeds)
     fmt = label or (lambda value: f"{axis}={value}")
+    cell_configs = [dataclasses.replace(base, **{axis: value}) for value in values]
+    tasks = tuple(
+        dataclasses.replace(config, seed=seed)
+        for config in cell_configs
+        for seed in seeds
+    )
+    task_labels = tuple(
+        f"{fmt(value)}/seed={seed}" for value in values for seed in seeds
+    )
+    results = run_tasks(
+        _scenario_worker,
+        tasks,
+        executor=executor,
+        cache=cache,
+        label=f"run_config_sweep[{axis}]",
+        task_labels=task_labels,
+    )
     cells: List[SweepCell] = []
-    for value in values:
-        config = dataclasses.replace(base, **{axis: value})
+    stride = len(seeds)
+    for index, (value, config) in enumerate(zip(values, cell_configs)):
+        cell_results = results[index * stride : (index + 1) * stride]
         cells.append(
             SweepCell(
                 label=fmt(value),
                 config=config,
-                result=run_repeated(config, seeds, confidence),
+                result=_aggregate(config, cell_results, confidence),
             )
         )
     return cells

@@ -13,6 +13,7 @@ from repro.analysis.boundaries import (
     corner_to_edge_boundary,
     edge_to_interior_boundary,
     interior_to_give_up_boundary,
+    numeric_band_mismatches,
     regime_boundaries,
 )
 from repro.errors import ConfigurationError
@@ -99,3 +100,21 @@ class TestAgainstStabilityAnalysis:
             bands = regime_boundaries(params)
             assert len(stable) == 1
             assert self._LABELS[bands.band_of(m)] is stable[0].ess_type
+
+
+class TestNumericCrossCheck:
+    def test_analytic_bands_match_batched_dynamics_at_p08(self):
+        """The closed forms and the batched Euler kernel agree on all of
+        m = 1..100 except the known clipping artifact at the
+        (1,Y')/interior edge (README fidelity notes)."""
+        params = paper_parameters(p=0.8, m=1, max_buffers=200)
+        mismatches = numeric_band_mismatches(params, list(range(1, 101)))
+        assert set(mismatches) <= {17, 18}
+
+    def test_interior_band_is_clean(self):
+        params = paper_parameters(p=0.8, m=1, max_buffers=200)
+        assert numeric_band_mismatches(params, [25, 30, 40, 50]) == []
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            numeric_band_mismatches(paper_parameters(p=0.8, m=1), [])

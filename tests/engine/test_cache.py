@@ -1,0 +1,124 @@
+"""ResultCache: LRU layer, disk layer, statistics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.errors import ConfigurationError
+
+
+class TestMemoryLayer:
+    def test_roundtrip(self):
+        cache = ResultCache()
+        cache.store("k", {"value": 42})
+        hit, value = cache.lookup("k")
+        assert hit
+        assert value == {"value": 42}
+
+    def test_miss(self):
+        hit, value = ResultCache().lookup("absent")
+        assert not hit
+        assert value is None
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        assert "k" not in cache
+        cache.store("k", 1)
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.store("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.lookup("k")[0]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+
+class TestLru:
+    def test_eviction_past_capacity(self):
+        cache = ResultCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.store("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_lookup_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.lookup("a")  # a is now most recent
+        cache.store("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+
+
+class TestStats:
+    def test_counters(self):
+        cache = ResultCache()
+        cache.lookup("k")
+        cache.store("k", 1)
+        cache.lookup("k")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+
+    def test_empty_hit_rate(self):
+        assert ResultCache().stats.hit_rate == 0.0
+
+
+class TestDiskLayer:
+    def test_store_writes_json_file(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("deadbeef", [1, 2, 3])
+        path = tmp_path / "deadbeef.json"
+        assert path.exists()
+        assert json.loads(path.read_text()) == [1, 2, 3]
+
+    def test_survives_a_new_process_worth_of_cache(self, tmp_path):
+        ResultCache(directory=tmp_path).store("k", {"auth": 0.97})
+        fresh = ResultCache(directory=tmp_path)
+        hit, value = fresh.lookup("k")
+        assert hit
+        assert value == {"auth": 0.97}
+        assert fresh.stats.disk_hits == 1
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", 7)
+        cache.clear()
+        assert cache.lookup("k") == (True, 7)
+
+    def test_non_json_value_stays_in_memory_only(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.store("k", object())  # not JSON-serialisable
+        assert not list(tmp_path.glob("*.json"))
+        assert cache.lookup("k")[0]
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        (tmp_path / "k.json").write_text("{not json")
+        assert not ResultCache(directory=tmp_path).lookup("k")[0]
+
+    def test_encode_decode_hooks(self, tmp_path):
+        cache = ResultCache(
+            directory=tmp_path,
+            encode=lambda pair: list(pair),
+            decode=lambda payload: tuple(payload),
+        )
+        cache.store("k", (0.5, 0.5))
+        fresh = ResultCache(
+            directory=tmp_path,
+            encode=lambda pair: list(pair),
+            decode=lambda payload: tuple(payload),
+        )
+        assert fresh.lookup("k") == (True, (0.5, 0.5))

@@ -1,0 +1,88 @@
+"""Serial == parallel == cached, bit for bit.
+
+The engine's core guarantee: which executor runs a batch — and which
+subset happened to be cached — must never show up in the results. The
+simulation layer is the strictest client (float aggregates of hundreds
+of packet events), so the equivalence is pinned there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.experiments as experiments
+from repro.engine import ParallelExecutor, ResultCache, SerialExecutor
+from repro.errors import TaskError
+from repro.sim.experiments import run_config_sweep, run_repeated, run_scenarios
+from repro.sim.scenario import ScenarioConfig
+
+CONFIG = ScenarioConfig(
+    protocol="dap",
+    intervals=15,
+    receivers=2,
+    buffers=4,
+    attack_fraction=0.6,
+    announce_copies=5,
+)
+SEEDS = [11, 12, 13]
+
+
+class TestRepeated:
+    def test_parallel_matches_serial_exactly(self):
+        serial = run_repeated(CONFIG, SEEDS, executor=SerialExecutor())
+        parallel = run_repeated(CONFIG, SEEDS, executor=ParallelExecutor(jobs=2))
+        assert parallel == serial  # full dataclass equality, no tolerance
+
+    def test_cached_replay_matches(self):
+        cache = ResultCache()
+        first = run_repeated(CONFIG, SEEDS, cache=cache)
+        replay = run_repeated(CONFIG, SEEDS, cache=cache)
+        assert replay == first
+        assert cache.stats.hits == len(SEEDS)
+
+    def test_crashed_seed_is_named(self, monkeypatch):
+        real = experiments.run_scenario
+
+        def crash_on_13(config):
+            if config.seed == 13:
+                raise RuntimeError("reservoir corrupted")
+            return real(config)
+
+        monkeypatch.setattr(experiments, "run_scenario", crash_on_13)
+        with pytest.raises(TaskError) as excinfo:
+            run_repeated(CONFIG, SEEDS)
+        assert excinfo.value.label == "seed=13"
+        assert "seed=13" in str(excinfo.value)
+
+
+class TestSweep:
+    def test_parallel_matches_serial_exactly(self):
+        serial = run_config_sweep(
+            CONFIG, "buffers", [2, 4], SEEDS[:2], executor=SerialExecutor()
+        )
+        parallel = run_config_sweep(
+            CONFIG, "buffers", [2, 4], SEEDS[:2],
+            executor=ParallelExecutor(jobs=2),
+        )
+        assert parallel == serial
+
+    def test_sweep_reuses_repeated_results_via_cache(self):
+        # The (buffers=4, seed) cells were already computed by
+        # run_repeated; the sweep must find them under the same keys.
+        cache = ResultCache()
+        run_repeated(CONFIG, SEEDS[:2], cache=cache)
+        cells = run_config_sweep(CONFIG, "buffers", [2, 4], SEEDS[:2], cache=cache)
+        assert cache.stats.hits == 2
+        assert [cell.config.buffers for cell in cells] == [2, 4]
+
+
+class TestScenarios:
+    def test_parallel_matches_serial_exactly(self):
+        configs = [
+            ScenarioConfig(protocol=protocol, intervals=15, receivers=2,
+                           buffers=4, attack_fraction=0.6, seed=5)
+            for protocol in ("dap", "tesla_pp")
+        ]
+        serial = run_scenarios(configs, executor=SerialExecutor())
+        parallel = run_scenarios(configs, executor=ParallelExecutor(jobs=2))
+        assert parallel == serial

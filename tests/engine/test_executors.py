@@ -1,0 +1,111 @@
+"""Executor contract: ordered results, isolated labelled failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    ExperimentSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_for,
+)
+from repro.errors import ConfigurationError, TaskError
+
+
+# Module-level workers so the process pool can pickle them.
+def square(task: int) -> int:
+    return task * task
+
+
+def fail_on_three(task: int) -> int:
+    if task == 3:
+        raise ValueError(f"task {task} exploded")
+    return task
+
+
+class TestSpec:
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(fn=square, tasks=())
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSpec(fn=square, tasks=(1, 2), task_labels=("only-one",))
+
+    def test_default_task_labels(self):
+        spec = ExperimentSpec(fn=square, tasks=(1, 2))
+        assert spec.label_for(0) == "task[0]"
+        assert spec.label_for(1) == "task[1]"
+
+    def test_over_accepts_any_sequence(self):
+        spec = ExperimentSpec.over(square, [1, 2, 3], task_labels=["a", "b", "c"])
+        assert len(spec) == 3
+        assert spec.label_for(2) == "c"
+
+    def test_cache_keys_distinct_per_task(self):
+        spec = ExperimentSpec(fn=square, tasks=(1, 2))
+        assert spec.cache_key_for(0) != spec.cache_key_for(1)
+
+    def test_cache_keys_distinct_per_worker(self):
+        a = ExperimentSpec(fn=square, tasks=(1,))
+        b = ExperimentSpec(fn=fail_on_three, tasks=(1,))
+        assert a.cache_key_for(0) != b.cache_key_for(0)
+
+
+class TestSerial:
+    def test_results_in_task_order(self):
+        spec = ExperimentSpec(fn=square, tasks=(3, 1, 2))
+        assert SerialExecutor().run(spec) == [9, 1, 4]
+
+    def test_failure_carries_task_label_and_index(self):
+        spec = ExperimentSpec(
+            fn=fail_on_three,
+            tasks=(1, 2, 3, 4),
+            label="sweep",
+            task_labels=("s1", "s2", "s3", "s4"),
+        )
+        with pytest.raises(TaskError) as excinfo:
+            SerialExecutor().run(spec)
+        assert excinfo.value.label == "s3"
+        assert excinfo.value.index == 2
+        assert "sweep" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestParallel:
+    def test_matches_serial(self):
+        spec = ExperimentSpec(fn=square, tasks=tuple(range(8)))
+        assert ParallelExecutor(jobs=2).run(spec) == SerialExecutor().run(spec)
+
+    def test_single_task_shortcut(self):
+        spec = ExperimentSpec(fn=square, tasks=(5,))
+        assert ParallelExecutor(jobs=4).run(spec) == [25]
+
+    def test_failure_carries_task_label(self):
+        spec = ExperimentSpec(
+            fn=fail_on_three, tasks=(1, 3), task_labels=("ok", "boom")
+        )
+        with pytest.raises(TaskError) as excinfo:
+            ParallelExecutor(jobs=2).run(spec)
+        assert excinfo.value.label == "boom"
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, chunksize=0)
+
+    def test_default_jobs_is_cpu_count(self):
+        assert ParallelExecutor().jobs >= 1
+
+
+class TestExecutorFor:
+    def test_serial_for_none_zero_one(self):
+        for jobs in (None, 0, 1, -3):
+            assert isinstance(executor_for(jobs), SerialExecutor)
+
+    def test_parallel_above_one(self):
+        executor = executor_for(4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 4

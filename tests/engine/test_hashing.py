@@ -1,0 +1,128 @@
+"""Stable content addressing — the cache's correctness foundation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import CODE_VERSION, stable_key
+from repro.errors import CacheKeyError, ReproError
+from repro.game.parameters import GameParameters, paper_parameters
+from repro.sim.scenario import ScenarioConfig
+
+
+class TestDeterminism:
+    def test_equal_values_equal_keys(self):
+        assert stable_key((1, "a", 2.5)) == stable_key((1, "a", 2.5))
+
+    def test_key_is_sha256_hex(self):
+        key = stable_key("anything")
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_known_structures_differ(self):
+        values = [None, 0, 1, True, False, 0.0, 1.0, "", "0", b"0", (), (0,), [0]]
+        keys = [stable_key(v) for v in values]
+        assert len(set(keys)) == len(values)
+
+
+class TestTypeTagging:
+    def test_bool_is_not_int(self):
+        assert stable_key(True) != stable_key(1)
+        assert stable_key(False) != stable_key(0)
+
+    def test_int_is_not_float(self):
+        assert stable_key(1) != stable_key(1.0)
+
+    def test_str_is_not_bytes(self):
+        assert stable_key("ab") != stable_key(b"ab")
+
+    def test_tuple_is_not_list(self):
+        assert stable_key((1, 2)) != stable_key([1, 2])
+
+    def test_negative_zero_distinct(self):
+        assert stable_key(0.0) != stable_key(-0.0)
+
+    def test_nan_is_stable(self):
+        assert stable_key(float("nan")) == stable_key(float("nan"))
+
+    def test_concatenation_cannot_alias(self):
+        assert stable_key(("ab", "c")) != stable_key(("a", "bc"))
+        assert stable_key((b"ab", b"c")) != stable_key((b"a", b"bc"))
+
+
+class TestContainers:
+    def test_dict_order_insensitive(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_dict_values_matter(self):
+        assert stable_key({"a": 1}) != stable_key({"a": 2})
+
+    def test_set_order_insensitive(self):
+        assert stable_key({3, 1, 2}) == stable_key({1, 2, 3})
+        assert stable_key(frozenset((1, 2))) == stable_key(frozenset((2, 1)))
+
+    def test_nested(self):
+        value = {"grid": [(0.1, 2), (0.2, 3)], "tags": {"a", "b"}}
+        assert stable_key(value) == stable_key(
+            {"tags": {"b", "a"}, "grid": [(0.1, 2), (0.2, 3)]}
+        )
+
+
+class TestNumpy:
+    def test_scalar_matches_python_value(self):
+        assert stable_key(np.float64(1.5)) == stable_key(1.5)
+        assert stable_key(np.int64(7)) == stable_key(7)
+
+    def test_array_content_addressed(self):
+        a = np.arange(6, dtype=float)
+        assert stable_key(a) == stable_key(a.copy())
+
+    def test_array_dtype_and_shape_matter(self):
+        a = np.arange(6)
+        assert stable_key(a) != stable_key(a.astype(float))
+        assert stable_key(a) != stable_key(a.reshape(2, 3))
+
+
+class TestDataclasses:
+    def test_config_roundtrip(self):
+        a = ScenarioConfig(protocol="dap", buffers=4, seed=7)
+        b = ScenarioConfig(protocol="dap", buffers=4, seed=7)
+        assert stable_key(a) == stable_key(b)
+
+    def test_field_changes_key(self):
+        a = ScenarioConfig(protocol="dap", buffers=4, seed=7)
+        b = ScenarioConfig(protocol="dap", buffers=4, seed=8)
+        assert stable_key(a) != stable_key(b)
+
+    def test_different_classes_never_collide(self):
+        # Both are frozen dataclasses; the class qualname is folded in.
+        params = paper_parameters(p=0.8, m=4)
+        clone = GameParameters(
+            ra=params.ra, k1=params.k1, k2=params.k2, p=params.p,
+            m=params.m, max_buffers=params.max_buffers,
+        )
+        assert stable_key(params) == stable_key(clone)
+        assert stable_key(params) != stable_key(ScenarioConfig())
+
+
+class TestRejection:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(CacheKeyError):
+            stable_key(object())
+
+    def test_callable_payload_raises(self):
+        with pytest.raises(CacheKeyError):
+            stable_key(lambda: None)
+
+    def test_cache_key_error_is_repro_and_type_error(self):
+        with pytest.raises(ReproError):
+            stable_key(object())
+        with pytest.raises(TypeError):
+            stable_key(object())
+
+
+def test_code_version_present():
+    assert CODE_VERSION
+    # Folding the version changes the key — the staleness guard.
+    assert stable_key((CODE_VERSION, 1)) != stable_key(("other-version", 1))

@@ -1,0 +1,119 @@
+"""Batched replicator kernel == scalar kernel, bit for bit.
+
+The batch precomputes its per-cell constants with Python scalar
+arithmetic and evaluates the field in the scalar expression's exact
+operation order, so no tolerance is needed anywhere in this file:
+every comparison is ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.game.parameters import paper_parameters
+from repro.game.replicator import BatchedReplicator, ReplicatorDynamics
+
+CASES = [(0.5, 4), (0.8, 1), (0.8, 12), (0.8, 18), (0.8, 30), (0.8, 55), (0.95, 50)]
+
+
+def scalar_trajectories(cases, method="euler", **kwargs):
+    return [
+        ReplicatorDynamics(paper_parameters(p=p, m=m)).integrate(
+            method=method, **kwargs
+        )
+        for p, m in cases
+    ]
+
+
+class TestBitEquivalence:
+    @pytest.mark.parametrize("method", ["euler", "rk4"])
+    def test_endpoints_match_scalar(self, method):
+        cells = [paper_parameters(p=p, m=m) for p, m in CASES]
+        batch = BatchedReplicator(cells).integrate(method=method)
+        for i, trajectory in enumerate(scalar_trajectories(CASES, method=method)):
+            assert batch.final(i) == trajectory.final
+            assert int(batch.steps[i]) == trajectory.steps
+            assert bool(batch.converged[i]) == trajectory.converged
+
+    def test_origin_grid_matches_scalar(self):
+        params = paper_parameters(p=0.8, m=30)
+        origins = [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1), (0.3, 0.7)]
+        batch = BatchedReplicator.uniform(params, len(origins)).integrate(
+            x0=np.array([o[0] for o in origins]),
+            y0=np.array([o[1] for o in origins]),
+        )
+        dynamics = ReplicatorDynamics(params)
+        for i, (x0, y0) in enumerate(origins):
+            assert batch.final(i) == dynamics.integrate(x0=x0, y0=y0).final
+
+    def test_derivatives_batch_matches_scalar(self):
+        dynamics = ReplicatorDynamics(paper_parameters(p=0.8, m=30))
+        axis = np.array([j / 10 for j in range(11)])
+        gx, gy = np.meshgrid(axis, axis)
+        dxs, dys = dynamics.derivatives_batch(gx, gy)
+        for i in range(11):
+            for j in range(11):
+                dx, dy = dynamics.derivatives(gx[i, j], gy[i, j])
+                assert dxs[i, j] == dx
+                assert dys[i, j] == dy
+
+
+class TestTrajectoryReconstruction:
+    @pytest.mark.parametrize("record_every", [1, 7])
+    def test_matches_scalar_recording(self, record_every):
+        cases = [(0.8, 5), (0.8, 30)]
+        cells = [paper_parameters(p=p, m=m) for p, m in cases]
+        batch = BatchedReplicator(cells).integrate(record_every=record_every)
+        scalars = scalar_trajectories(cases, record_every=record_every)
+        for i, scalar in enumerate(scalars):
+            reconstructed = batch.trajectory(i)
+            assert reconstructed.xs.tolist() == scalar.xs.tolist()
+            assert reconstructed.ys.tolist() == scalar.ys.tolist()
+            assert reconstructed.steps == scalar.steps
+            assert reconstructed.converged == scalar.converged
+
+    def test_trajectory_requires_history(self):
+        batch = BatchedReplicator.uniform(paper_parameters(p=0.8, m=5), 2).integrate()
+        with pytest.raises(ConfigurationError):
+            batch.trajectory(0)
+
+
+class TestBatchApi:
+    def test_len_and_all_converged(self):
+        batch = BatchedReplicator.uniform(paper_parameters(p=0.8, m=5), 3).integrate()
+        assert len(batch) == 3
+        assert batch.all_converged
+
+    def test_cells_and_size(self):
+        kernel = BatchedReplicator.uniform(paper_parameters(p=0.8, m=5), 4)
+        assert kernel.size == 4
+        assert len(kernel.cells) == 4
+
+    def test_empty_cells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchedReplicator(())
+
+    def test_uniform_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            BatchedReplicator.uniform(paper_parameters(p=0.8, m=5), 0)
+
+    def test_integrate_validates_settings(self):
+        kernel = BatchedReplicator.uniform(paper_parameters(p=0.8, m=5), 1)
+        with pytest.raises(ConfigurationError):
+            kernel.integrate(dt=0.0)
+        with pytest.raises(ConfigurationError):
+            kernel.integrate(max_steps=0)
+        with pytest.raises(ConfigurationError):
+            kernel.integrate(method="heun")
+        with pytest.raises(ConfigurationError):
+            kernel.integrate(record_every=0)
+
+    def test_divergence_raises_when_asked(self):
+        kernel = BatchedReplicator.uniform(paper_parameters(p=0.8, m=30), 2)
+        with pytest.raises(ConvergenceError):
+            kernel.integrate(max_steps=3, raise_on_divergence=True)
+        # ...and reports unconverged flags when not asked to raise.
+        batch = kernel.integrate(max_steps=3)
+        assert not batch.all_converged

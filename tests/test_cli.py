@@ -55,6 +55,53 @@ class TestOptimize:
         assert "(paper)" in capsys.readouterr().out
 
 
+class TestEngineFlags:
+    def test_jobs_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--seeds", "2", "--jobs", "4"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is False
+
+    def test_jobs_defaults_to_serial(self):
+        for command in (
+            ["simulate"],
+            ["figures"],
+            ["sensitivity", "--p", "0.8"],
+        ):
+            args = build_parser().parse_args(command)
+            assert args.jobs is None
+            assert args.no_cache is False
+
+    def test_no_cache_flag_parsed(self):
+        args = build_parser().parse_args(["figures", "--no-cache"])
+        assert args.no_cache is True
+
+    def test_jobs_requires_a_value(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--jobs"])
+
+    def test_flags_not_available_on_analytic_commands(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--p", "0.8", "--m", "3",
+                                       "--jobs", "2"])
+
+    def test_simulate_with_jobs_matches_serial(self, capsys):
+        argv = ["simulate", "--protocol", "dap", "--p", "0.7", "--buffers", "4",
+                "--intervals", "15", "--receivers", "2", "--seeds", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_simulate_no_cache_runs(self, capsys):
+        assert main(
+            ["simulate", "--intervals", "10", "--receivers", "1",
+             "--seeds", "1", "--no-cache"]
+        ) == 0
+
+
 class TestSimulate:
     def test_reports_rates(self, capsys):
         code = main(
