@@ -1,0 +1,58 @@
+"""N-1 — live-testbed loopback throughput.
+
+The loopback transport exists so DoS soaks run deterministically at
+simulator speed; if pushing datagrams through endpoint handlers were
+much slower than the in-memory medium, nobody would use it. Measures a
+full soak (encode → proxy → decode → verify) and the loadtest harness
+end to end, and pins the sim-parity invariant while it is at it.
+"""
+
+from __future__ import annotations
+
+from repro.net.harness import LoadTestConfig, run_loadtest, run_loopback_soak
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+SOAK = ScenarioConfig(
+    protocol="dap",
+    intervals=30,
+    interval_duration=0.5,
+    receivers=4,
+    buffers=4,
+    attack_fraction=0.5,
+    loss_probability=0.1,
+    announce_copies=5,
+    seed=17,
+)
+
+
+def test_loopback_soak_throughput(benchmark):
+    result = benchmark(run_loopback_soak, SOAK)
+    assert result.fleet.total_forged_accepted == 0
+    assert result.datagrams_delivered > 0
+
+
+def test_soak_matches_simulator(benchmark):
+    expected = run_scenario(SOAK).fleet.nodes
+
+    def soak_and_check():
+        result = run_loopback_soak(SOAK)
+        assert result.fleet.nodes == expected
+        return result
+
+    result = benchmark(soak_and_check)
+    assert result.authentication_rate > 0.8
+
+
+def test_loadtest_harness_overhead(benchmark):
+    config = LoadTestConfig(
+        transport="loopback",
+        receivers=4,
+        shards=2,
+        intervals=20,
+        interval_duration=0.1,
+        attack_fraction=0.5,
+        seed=17,
+    )
+    report = benchmark(run_loadtest, config)
+    assert report.packets_per_second > 0
+    assert report.forged_accepted == 0

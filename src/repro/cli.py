@@ -9,6 +9,9 @@ Subcommands::
     repro sensitivity robustness of m* to the economic constants
     repro portrait    ASCII phase portrait of the replicator field
     repro boundaries  analytic ESS regime boundaries over m
+    repro loadtest    soak the live testbed, emit a JSON report
+    repro serve       stand up a live UDP deployment on localhost
+    repro attack      flood a testbed deployment with forgeries
 
 Every subcommand is a thin shim over the library — anything printed
 here is available programmatically (see README).
@@ -33,6 +36,7 @@ from repro.analysis.sweep import open_interval_grid
 from repro.analysis.trajectories import regime_bands
 from repro.engine import Executor, ResultCache, executor_for
 from repro.errors import ReproError
+from repro.net.harness import LoadTestConfig, run_loadtest
 from repro.game.ess import fixed_points, realized_ess
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
 from repro.game.parameters import GameParameters, paper_parameters
@@ -41,6 +45,34 @@ from repro.sim.experiments import run_repeated
 from repro.sim.scenario import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (no floats, no 0)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (rejects floats like '10.5')."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
 
 
 def _add_game_constants(parser: argparse.ArgumentParser) -> None:
@@ -55,7 +87,7 @@ def _add_game_constants(parser: argparse.ArgumentParser) -> None:
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="run engine tasks on N worker processes (default: serial)",
@@ -149,6 +181,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     boundaries.add_argument("--p", type=float, required=True)
     _add_game_constants(boundaries)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="soak the live testbed, emit a JSON report"
+    )
+    loadtest.add_argument(
+        "--transport",
+        choices=("loopback", "udp"),
+        default="loopback",
+        help="deterministic in-process loopback, or real UDP sockets",
+    )
+    loadtest.add_argument("--protocol", choices=("dap", "tesla_pp"), default="dap")
+    loadtest.add_argument("--receivers", type=_positive_int, default=4)
+    loadtest.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="independent soak worlds (loopback; pairs with --jobs)",
+    )
+    loadtest.add_argument("--intervals", type=_positive_int, default=40)
+    loadtest.add_argument("--interval-duration", type=float, default=0.05)
+    loadtest.add_argument("--buffers", type=_positive_int, default=4)
+    loadtest.add_argument("--p", type=float, default=0.0, help="attack fraction")
+    loadtest.add_argument(
+        "--rate",
+        type=_nonnegative_int,
+        default=0,
+        metavar="PKTS_PER_SEC",
+        help="constant forged packets/sec (overrides --p when > 0)",
+    )
+    loadtest.add_argument("--loss", type=float, default=0.0)
+    loadtest.add_argument(
+        "--burst", type=float, default=None, help="mean loss burst length"
+    )
+    loadtest.add_argument("--jitter", type=float, default=0.0)
+    loadtest.add_argument("--duplicate", type=float, default=0.0)
+    loadtest.add_argument("--reorder", type=float, default=0.0)
+    loadtest.add_argument("--seed", type=int, default=7)
+    _add_engine_flags(loadtest)
+
+    serve = sub.add_parser("serve", help="stand up a live UDP deployment")
+    serve.add_argument("--port", type=_positive_int, required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--protocol", choices=("dap", "tesla_pp"), default="dap")
+    serve.add_argument("--receivers", type=_positive_int, default=2)
+    serve.add_argument("--intervals", type=_positive_int, default=20)
+    serve.add_argument("--interval-duration", type=float, default=0.5)
+    serve.add_argument("--buffers", type=_positive_int, default=4)
+    serve.add_argument("--seed", type=int, default=7)
+
+    attack = sub.add_parser("attack", help="flood a testbed deployment")
+    attack.add_argument("--host", default="127.0.0.1")
+    attack.add_argument("--port", type=_positive_int, required=True)
+    attack.add_argument(
+        "--rate", type=_positive_int, default=200, metavar="PKTS_PER_SEC"
+    )
+    attack.add_argument("--duration", type=float, default=5.0)
+    attack.add_argument("--interval-duration", type=float, default=0.5)
 
     return parser
 
@@ -377,6 +466,84 @@ def _cmd_boundaries(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    config = LoadTestConfig(
+        transport=args.transport,
+        protocol=args.protocol,
+        receivers=args.receivers,
+        shards=args.shards,
+        intervals=args.intervals,
+        interval_duration=args.interval_duration,
+        buffers=args.buffers,
+        attack_fraction=args.p,
+        attack_rate=float(args.rate),
+        loss_probability=args.loss,
+        loss_mean_burst=args.burst,
+        jitter=args.jitter,
+        duplicate_probability=args.duplicate,
+        reorder_probability=args.reorder,
+        seed=args.seed,
+    )
+    executor, _ = _engine(args)
+    report = run_loadtest(config, executor=executor)
+    print(report.to_json())
+    if report.forged_accepted:
+        print("SECURITY INVARIANT VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.udp import run_udp_serve
+
+    config = LoadTestConfig(
+        transport="udp",
+        protocol=args.protocol,
+        receivers=args.receivers,
+        intervals=args.intervals,
+        interval_duration=args.interval_duration,
+        buffers=args.buffers,
+        seed=args.seed,
+        udp_host=args.host,
+    )
+    last_port = args.port + args.receivers - 1
+    duration = args.intervals * args.interval_duration
+    print(
+        f"serving {args.protocol} on {args.host}:{args.port}-{last_port}"
+        f" for ~{duration:.1f}s ({args.receivers} receivers, m={args.buffers})"
+    )
+    result = run_udp_serve(config, args.port)
+    for node in result.fleet.nodes:
+        print(
+            f"{node.name}: authenticated={node.authenticated}"
+            f" rejected_forged={node.rejected_forged}"
+            f" forged_accepted={node.forged_accepted}"
+            f" received={node.packets_received}"
+        )
+    print(f"authentication rate : {result.authentication_rate}")
+    if result.fleet.total_forged_accepted:
+        print("SECURITY INVARIANT VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.net.udp import run_udp_attack
+
+    injected = run_udp_attack(
+        args.host,
+        args.port,
+        rate=float(args.rate),
+        duration=args.duration,
+        interval_duration=args.interval_duration,
+    )
+    print(
+        f"injected {injected} forged announcements at"
+        f" {args.host}:{args.port} ({args.rate}/s for {args.duration:.1f}s)"
+    )
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "optimize": _cmd_optimize,
@@ -385,6 +552,9 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "portrait": _cmd_portrait,
     "boundaries": _cmd_boundaries,
+    "loadtest": _cmd_loadtest,
+    "serve": _cmd_serve,
+    "attack": _cmd_attack,
 }
 
 

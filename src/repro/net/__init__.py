@@ -1,0 +1,59 @@
+"""Live network testbed: the protocols over real (and virtual) wires.
+
+Everything below :mod:`repro.protocols` runs in memory; this package
+gives the wire codec an actual transport so the DoS experiments can be
+reproduced against live traffic, the way TESLA-for-5G and Jin &
+Papadimitratos' DoS-resilient beacon verification evaluate them:
+
+- :mod:`repro.net.transport` — one transport contract, two worlds: a
+  deterministic in-process loopback network (virtual clock from
+  :mod:`repro.timesync`, seeded RNG, FIFO tie-breaking identical to the
+  discrete-event simulator) and an asyncio UDP transport for real
+  sockets.
+- :mod:`repro.net.daemons` — a broadcaster daemon driving any protocol
+  sender through :func:`repro.protocols.wire.encode_packet`, and a
+  receiver daemon feeding decoded datagrams into the matching receiver
+  state machine, reporting :class:`repro.sim.metrics.NodeSummary`-
+  compatible statistics plus decode-to-verify latency.
+- :mod:`repro.net.proxy` — a fault-injection proxy between them that
+  applies the :mod:`repro.sim.channel` loss processes plus delay,
+  jitter, duplication and reordering.
+- :mod:`repro.net.flood` — the DoS flood attacker: forged
+  ``MacAnnouncePacket`` bursts at a configurable rate, with a
+  ground-truth provenance registry so the metrics layer can still
+  attribute outcomes over a provenance-less wire.
+- :mod:`repro.net.harness` — ``repro loadtest``: timed soaks through
+  the experiment engine's executors, emitting a JSON report, and
+  :func:`run_loopback_soak`, whose seed derivation mirrors
+  :func:`repro.sim.scenario.run_scenario` exactly so a loopback soak is
+  directly comparable to the in-memory simulation at the same seed.
+"""
+
+from repro.net.daemons import Broadcaster, ReceiverDaemon
+from repro.net.flood import FloodAttacker, ProvenanceRegistry
+from repro.net.harness import (
+    LoadTestConfig,
+    LoadTestReport,
+    SoakResult,
+    run_loadtest,
+    run_loopback_soak,
+)
+from repro.net.proxy import FaultInjectionProxy, ProxyConfig
+from repro.net.transport import LoopbackNetwork, LoopbackTransport, Transport
+
+__all__ = [
+    "Transport",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "Broadcaster",
+    "ReceiverDaemon",
+    "FaultInjectionProxy",
+    "ProxyConfig",
+    "FloodAttacker",
+    "ProvenanceRegistry",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "SoakResult",
+    "run_loadtest",
+    "run_loopback_soak",
+]

@@ -1,0 +1,173 @@
+"""The DoS flood attacker, and ground truth for judging it.
+
+:class:`FloodAttacker` injects forged ``MacAnnouncePacket`` datagrams
+(or any other forgery a :data:`~repro.sim.attacker.ForgeryFactory`
+builds) into the testbed, in either of two shapes:
+
+- :meth:`schedule_bursts` — the paper's model: per interval, enough
+  forged copies to make a fraction ``p`` of all copies forged, packed
+  into the leading ``burst_fraction`` of the interval. Timing and RNG
+  discipline mirror :class:`repro.sim.attacker.FloodingAttacker`
+  exactly, enabling loopback-versus-simulation parity checks.
+- :meth:`schedule_rate` — a plain packets-per-second flood for load
+  testing and the ``repro attack`` CLI, stamping each forgery with the
+  interval the deployment is currently in (a flood that fails the
+  security condition costs the receiver nothing — real attackers
+  forge *current* indices).
+
+The wire deliberately carries no provenance — that is simulation
+bookkeeping. To keep the metrics layer able to assert the invariant
+``forged_accepted == 0`` over a real transport, the attacker registers
+every forged datagram's exact bytes in a :class:`ProvenanceRegistry`;
+receiver daemons sharing the registry restore the tag on decode.
+Datagrams the registry has never seen default to ``legitimate``, which
+is also the honest answer for a genuinely external attacker (whose
+damage then shows up as a degraded authentication rate, not as
+mis-attributed forgeries).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.transport import Transport
+from repro.protocols.packets import FORGED, LEGITIMATE
+from repro.protocols.wire import encode_packet
+from repro.sim.attacker import (
+    ForgeryFactory,
+    announce_forgery_factory,
+    forged_copies_for_fraction,
+)
+from repro.timesync.intervals import IntervalSchedule
+
+__all__ = ["ProvenanceRegistry", "FloodAttacker"]
+
+
+class ProvenanceRegistry:
+    """Ground-truth provenance, keyed by exact datagram bytes.
+
+    Duplication and reordering in the proxy preserve bytes, so the
+    lookup survives every fault the testbed injects. Collisions between
+    a forged and an authentic datagram would need identical 80-bit MACs
+    — negligible, and a soak that hit one would fail loudly in the
+    parity assertions.
+    """
+
+    def __init__(self) -> None:
+        self._tags: Dict[bytes, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def register(self, data: bytes, provenance: str = FORGED) -> None:
+        """Record ground truth for one datagram's bytes."""
+        self._tags[bytes(data)] = provenance
+
+    def provenance_of(self, data: bytes) -> str:
+        """The tag for ``data`` (``legitimate`` when never registered)."""
+        return self._tags.get(bytes(data), LEGITIMATE)
+
+
+class FloodAttacker:
+    """Forged-packet flooding over a transport.
+
+    Args:
+        transport: the endpoint to inject from.
+        targets: addresses to flood (typically the proxy ingress, or a
+            victim receiver directly).
+        registry: where to record ground truth (optional — an attacker
+            pointed at a foreign deployment has none).
+        factory: forgery factory; forged DAP/TESLA++ announcements by
+            default.
+        rng: seeded RNG for forgery bytes.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        targets: Sequence[str],
+        registry: Optional[ProvenanceRegistry] = None,
+        factory: Optional[ForgeryFactory] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not targets:
+            raise ConfigurationError("attacker needs at least one target")
+        self._transport = transport
+        self._targets = list(targets)
+        self._registry = registry
+        self._factory = factory or announce_forgery_factory()
+        self._rng = rng or random.Random()
+        self.packets_injected = 0
+
+    def schedule_bursts(
+        self,
+        schedule: IntervalSchedule,
+        p: float,
+        authentic_copies_per_interval: int,
+        intervals: int,
+        burst_fraction: float = 0.25,
+    ) -> None:
+        """The paper's per-interval flood (mirrors ``FloodingAttacker``).
+
+        Args:
+            schedule: the deployment's interval schedule.
+            p: target forged fraction of all copies.
+            authentic_copies_per_interval: the legitimate sender's copy
+                count, used to size the flood.
+            intervals: how many intervals to attack (from interval 1).
+            burst_fraction: leading fraction of each interval the flood
+                is packed into.
+        """
+        if intervals < 1:
+            raise ConfigurationError(f"intervals must be >= 1, got {intervals}")
+        if not 0.0 < burst_fraction <= 1.0:
+            raise ConfigurationError(
+                f"burst_fraction must be in (0, 1], got {burst_fraction}"
+            )
+        for interval in range(1, intervals + 1):
+            copies = forged_copies_for_fraction(authentic_copies_per_interval, p)
+            start = schedule.start_of(interval)
+            window = schedule.duration * burst_fraction
+            for copy in range(copies):
+                offset = window * (copy + 0.5) / max(copies, 1)
+                self._transport.call_at(
+                    start + offset, self._make_injector(interval, copy)
+                )
+
+    def schedule_rate(
+        self,
+        rate: float,
+        duration: float,
+        schedule: IntervalSchedule,
+        start: float = 0.0,
+    ) -> None:
+        """A constant packets-per-second flood for ``duration`` seconds.
+
+        Each forgery claims the interval the deployment is in at its
+        injection time (clamped to 1 before the schedule starts).
+        """
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        count = int(rate * duration)
+        spacing = 1.0 / rate
+        for copy in range(count):
+            at = start + spacing * (copy + 0.5)
+            interval = max(schedule.index_at(at), 1)
+            self._transport.call_at(at, self._make_injector(interval, copy))
+
+    def _make_injector(self, interval: int, copy: int):
+        def inject() -> None:
+            packet = self._factory(interval, copy, self._rng)
+            datagram = encode_packet(packet)
+            if self._registry is not None:
+                provenance = getattr(packet, "provenance", FORGED)
+                self._registry.register(datagram, provenance)
+            for target in self._targets:
+                self._transport.send(datagram, target)
+            self.packets_injected += 1
+
+        return inject

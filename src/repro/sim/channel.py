@@ -20,6 +20,7 @@ exist for. Two processes:
 
 from __future__ import annotations
 
+import math
 import random
 from abc import ABC, abstractmethod
 
@@ -105,12 +106,14 @@ class GilbertElliottLoss(LossProcess):
         ``average = π·loss_bad + (1-π)·loss_good``; the transition
         rates follow from ``π`` and ``mean_burst = 1 / p_bad_to_good``.
         """
-        if not 0.0 <= average_loss <= 1.0:
+        if not math.isfinite(average_loss) or not 0.0 <= average_loss < 1.0:
             raise ConfigurationError(
-                f"average_loss must be in [0, 1], got {average_loss}"
+                f"average_loss must be in [0, 1), got {average_loss}"
             )
-        if mean_burst < 1.0:
-            raise ConfigurationError(f"mean_burst must be >= 1, got {mean_burst}")
+        if not math.isfinite(mean_burst) or mean_burst < 1.0:
+            raise ConfigurationError(
+                f"mean_burst must be finite and >= 1, got {mean_burst}"
+            )
         if loss_bad <= loss_good:
             raise ConfigurationError("need loss_bad > loss_good")
         pi_bad = (average_loss - loss_good) / (loss_bad - loss_good)

@@ -15,7 +15,12 @@ from repro.errors import ConfigurationError
 from repro.protocols.base import AuthOutcome
 from repro.sim.nodes import ReceiverNode
 
-__all__ = ["NodeSummary", "FleetSummary", "summarise_nodes"]
+__all__ = [
+    "NodeSummary",
+    "FleetSummary",
+    "summary_from_stats",
+    "summarise_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,23 @@ def _stat(receiver_stats, outcome: AuthOutcome) -> int:
     return receiver_stats.by_outcome.get(outcome, 0)
 
 
+def summary_from_stats(name: str, stats) -> NodeSummary:
+    """One receiver's :class:`~repro.protocols.base.ReceiverStats` as a
+    :class:`NodeSummary` — shared by the simulator and the live testbed
+    (:mod:`repro.net`), so both report in the same vocabulary."""
+    return NodeSummary(
+        name=name,
+        authenticated=stats.authenticated,
+        lost_no_record=stats.lost_no_record,
+        rejected_forged=stats.rejected_forged,
+        rejected_weak_auth=stats.rejected_weak_auth,
+        discarded_unsafe=stats.discarded_unsafe,
+        forged_accepted=stats.forged_accepted,
+        packets_received=stats.packets_received,
+        peak_buffer_bits=stats.peak_buffer_bits,
+    )
+
+
 def summarise_nodes(
     nodes: List[ReceiverNode], sent_authentic: int
 ) -> FleetSummary:
@@ -112,20 +134,7 @@ def summarise_nodes(
         sent_authentic: distinct authentic messages the sender broadcast
             (known to the harness).
     """
-    summaries = []
-    for node in nodes:
-        stats = node.receiver.stats
-        summaries.append(
-            NodeSummary(
-                name=node.name,
-                authenticated=stats.authenticated,
-                lost_no_record=stats.lost_no_record,
-                rejected_forged=stats.rejected_forged,
-                rejected_weak_auth=stats.rejected_weak_auth,
-                discarded_unsafe=stats.discarded_unsafe,
-                forged_accepted=stats.forged_accepted,
-                packets_received=stats.packets_received,
-                peak_buffer_bits=stats.peak_buffer_bits,
-            )
-        )
+    summaries = [
+        summary_from_stats(node.name, node.receiver.stats) for node in nodes
+    ]
     return FleetSummary(nodes=tuple(summaries), sent_authentic=sent_authentic)

@@ -54,7 +54,12 @@ from repro.sim.workloads import CrowdsensingWorkload
 from repro.timesync.intervals import IntervalSchedule, TwoLevelSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
-__all__ = ["ScenarioConfig", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "run_scenario",
+    "build_two_phase_protocol",
+]
 
 _TWO_PHASE = ("dap", "tesla_pp")
 _SINGLE_LEVEL = ("tesla", "mu_tesla")
@@ -182,7 +187,17 @@ def _seed_bytes(config: ScenarioConfig, label: str) -> bytes:
     return b"repro.scenario|%d|%s" % (config.seed, label.encode("utf-8"))
 
 
-def _build_two_phase(config, simulator, medium, schedule, condition, workload, rng):
+def build_two_phase_protocol(config, condition, workload, rng):
+    """Construct the two-phase protocol objects a scenario needs.
+
+    Returns ``(sender, receivers, factory, authentic_copies,
+    sent_authentic)`` with bare protocol receivers (not yet bound to any
+    medium). The per-receiver RNG seeds are drawn from ``rng`` in
+    receiver order — both the discrete-event simulator and the live
+    testbed (:mod:`repro.net.harness`) build through here, which is what
+    makes a loopback soak reproduce an in-memory run decision-for-
+    decision at the same seed.
+    """
     sender_cls = DapSender if config.protocol == "dap" else TeslaPlusPlusSender
     sender = sender_cls(
         seed=_seed_bytes(config, "chain"),
@@ -192,33 +207,35 @@ def _build_two_phase(config, simulator, medium, schedule, condition, workload, r
         announce_copies=config.announce_copies,
         message_for=workload.report_for,
     )
-    nodes = []
+    receiver_cls = DapReceiver if config.protocol == "dap" else TeslaPlusPlusReceiver
+    receivers = []
     for i in range(config.receivers):
-        local_key = _seed_bytes(config, f"local-{i}")
-        if config.protocol == "dap":
-            receiver = DapReceiver(
+        receivers.append(
+            receiver_cls(
                 commitment=sender.chain.commitment,
                 condition=condition,
-                local_key=local_key,
+                local_key=_seed_bytes(config, f"local-{i}"),
                 buffers=config.buffers,
                 rng=random.Random(rng.getrandbits(64)),
             )
-        else:
-            receiver = TeslaPlusPlusReceiver(
-                commitment=sender.chain.commitment,
-                condition=condition,
-                local_key=local_key,
-                buffers=config.buffers,
-                rng=random.Random(rng.getrandbits(64)),
-            )
-        node = ReceiverNode(f"recv-{i}", simulator, receiver)
-        node.attach(medium, _link_for(config))
-        nodes.append(node)
+        )
     factory = announce_forgery_factory()
     authentic_copies = config.packets_per_interval * config.announce_copies
     sent_authentic = config.packets_per_interval * (
         config.intervals - config.disclosure_delay
     )
+    return sender, receivers, factory, authentic_copies, sent_authentic
+
+
+def _build_two_phase(config, simulator, medium, schedule, condition, workload, rng):
+    sender, receivers, factory, authentic_copies, sent_authentic = (
+        build_two_phase_protocol(config, condition, workload, rng)
+    )
+    nodes = []
+    for i, receiver in enumerate(receivers):
+        node = ReceiverNode(f"recv-{i}", simulator, receiver)
+        node.attach(medium, _link_for(config))
+        nodes.append(node)
     return sender, nodes, factory, authentic_copies, sent_authentic
 
 

@@ -1,0 +1,124 @@
+"""Broadcaster and receiver daemons over the loopback transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.daemons import Broadcaster, ReceiverDaemon
+from repro.net.flood import ProvenanceRegistry
+from repro.net.transport import LoopbackNetwork
+from repro.protocols.dap import DapReceiver, DapSender
+from repro.protocols.packets import FORGED
+from repro.protocols.wire import encode_packet
+from repro.sim.attacker import announce_forgery_factory
+from repro.sim.metrics import NodeSummary
+
+
+@pytest.fixture
+def network():
+    return LoopbackNetwork()
+
+
+def make_pair(condition, intervals=6, copies=3):
+    sender = DapSender(
+        seed=b"net-test",
+        chain_length=intervals + 1,
+        disclosure_delay=1,
+        announce_copies=copies,
+    )
+    receiver = DapReceiver(
+        commitment=sender.chain.commitment,
+        condition=condition,
+        local_key=b"net-local",
+        buffers=4,
+    )
+    return sender, receiver
+
+
+class TestBroadcaster:
+    def test_transmits_every_interval_at_sender_offsets(
+        self, network, condition, schedule
+    ):
+        sender, receiver = make_pair(condition)
+        daemon = ReceiverDaemon("r", network.endpoint("r"), receiver)
+        broadcaster = Broadcaster(
+            network.endpoint("s"), ["r"], sender, schedule, 6
+        )
+        broadcaster.start()
+        network.run()
+        # announce copies for 6 intervals + reveals for intervals 1..5
+        assert broadcaster.packets_sent == 6 * 3 + 5
+        assert daemon.datagrams_received == broadcaster.packets_sent
+
+    def test_authenticates_over_the_wire(self, network, condition, schedule):
+        sender, receiver = make_pair(condition)
+        daemon = ReceiverDaemon("r", network.endpoint("r"), receiver)
+        Broadcaster(network.endpoint("s"), ["r"], sender, schedule, 6).start()
+        network.run()
+        summary = daemon.node_summary()
+        # intervals - disclosure_delay verifiable messages, none attacked
+        assert summary.authenticated == 5
+        assert summary.forged_accepted == 0
+
+    def test_rejects_empty_destinations(self, network, condition, schedule):
+        sender, _ = make_pair(condition)
+        with pytest.raises(ConfigurationError):
+            Broadcaster(network.endpoint("s"), [], sender, schedule, 6)
+
+    def test_rejects_nonpositive_intervals(self, network, condition, schedule):
+        sender, _ = make_pair(condition)
+        with pytest.raises(ConfigurationError):
+            Broadcaster(network.endpoint("s"), ["r"], sender, schedule, 0)
+
+
+class TestReceiverDaemon:
+    def test_malformed_datagrams_counted_not_fatal(
+        self, network, condition, schedule
+    ):
+        sender, receiver = make_pair(condition)
+        daemon = ReceiverDaemon("r", network.endpoint("r"), receiver)
+        ep = network.endpoint("x")
+        ep.send(b"\xff garbage", "r")
+        network.run()
+        assert daemon.malformed == 1
+        assert daemon.node_summary().packets_received == 0
+        # daemon still works afterwards
+        Broadcaster(network.endpoint("s"), ["r"], sender, schedule, 6).start()
+        network.run()
+        assert daemon.node_summary().authenticated == 5
+
+    def test_registry_restores_forged_provenance(self, network, condition, rng):
+        _, receiver = make_pair(condition)
+        registry = ProvenanceRegistry()
+        daemon = ReceiverDaemon("r", network.endpoint("r"), receiver, registry)
+        forged = announce_forgery_factory()(1, 0, rng)
+        datagram = encode_packet(forged)
+        registry.register(datagram, FORGED)
+        network.endpoint("x").send(datagram, "r", delay=0.1)
+        network.run()
+        summary = daemon.node_summary()
+        assert summary.packets_received == 1
+        assert summary.forged_accepted == 0
+
+    def test_latency_samples_recorded(self, network, condition, schedule):
+        sender, receiver = make_pair(condition)
+        daemon = ReceiverDaemon("r", network.endpoint("r"), receiver)
+        Broadcaster(network.endpoint("s"), ["r"], sender, schedule, 6).start()
+        network.run()
+        assert len(daemon.latencies) == daemon.datagrams_received
+        assert all(latency >= 0.0 for latency in daemon.latencies)
+
+    def test_node_summary_type_and_name(self, network, condition):
+        _, receiver = make_pair(condition)
+        daemon = ReceiverDaemon("node-7", network.endpoint("r"), receiver)
+        summary = daemon.node_summary()
+        assert isinstance(summary, NodeSummary)
+        assert summary.name == "node-7"
+
+    def test_clock_offset_shifts_local_time(self, network, condition):
+        _, receiver = make_pair(condition)
+        daemon = ReceiverDaemon(
+            "r", network.endpoint("r"), receiver, clock_offset=0.5
+        )
+        assert daemon.local_time == pytest.approx(0.5)

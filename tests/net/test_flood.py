@@ -1,0 +1,115 @@
+"""Flood attacker and the ground-truth provenance registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.flood import FloodAttacker, ProvenanceRegistry
+from repro.net.transport import LoopbackNetwork
+from repro.protocols.packets import FORGED, LEGITIMATE
+from repro.protocols.wire import decode_packet
+from repro.sim.attacker import forged_copies_for_fraction
+
+
+@pytest.fixture
+def network():
+    return LoopbackNetwork()
+
+
+class TestProvenanceRegistry:
+    def test_registered_bytes_come_back_forged(self):
+        registry = ProvenanceRegistry()
+        registry.register(b"datagram-bytes")
+        assert registry.provenance_of(b"datagram-bytes") == FORGED
+        assert len(registry) == 1
+
+    def test_unknown_bytes_default_to_legitimate(self):
+        assert ProvenanceRegistry().provenance_of(b"never-seen") == LEGITIMATE
+
+    def test_mutable_input_snapshotted(self):
+        registry = ProvenanceRegistry()
+        data = bytearray(b"abc")
+        registry.register(data)
+        data[0] = 0
+        assert registry.provenance_of(b"abc") == FORGED
+
+
+class TestFloodAttacker:
+    def test_needs_targets(self, network):
+        with pytest.raises(ConfigurationError):
+            FloodAttacker(network.endpoint("a"), [])
+
+    def test_burst_flood_matches_sim_copy_count(self, network, schedule):
+        inbox = []
+        network.endpoint("victim").set_handler(
+            lambda data, at: inbox.append((data, at))
+        )
+        registry = ProvenanceRegistry()
+        attacker = FloodAttacker(
+            network.endpoint("a"),
+            ["victim"],
+            registry=registry,
+            rng=random.Random(3),
+        )
+        attacker.schedule_bursts(
+            schedule, p=0.5, authentic_copies_per_interval=5, intervals=4
+        )
+        network.run()
+        expected = 4 * forged_copies_for_fraction(5, 0.5)
+        assert attacker.packets_injected == expected
+        assert len(inbox) == expected
+        # every injected datagram is decodable and registered as forged
+        for data, _at in inbox:
+            decode_packet(data)
+            assert registry.provenance_of(data) == FORGED
+
+    def test_bursts_land_in_leading_fraction(self, network, schedule):
+        arrivals = []
+        network.endpoint("victim").set_handler(
+            lambda data, at: arrivals.append(at)
+        )
+        attacker = FloodAttacker(
+            network.endpoint("a"), ["victim"], rng=random.Random(3)
+        )
+        attacker.schedule_bursts(
+            schedule,
+            p=0.5,
+            authentic_copies_per_interval=5,
+            intervals=3,
+            burst_fraction=0.25,
+        )
+        network.run()
+        for at in arrivals:
+            interval_start = float(int(at))
+            assert at - interval_start <= 0.25
+
+    def test_rate_flood_injects_rate_times_duration(self, network, schedule):
+        inbox = []
+        network.endpoint("victim").set_handler(
+            lambda data, at: inbox.append(at)
+        )
+        attacker = FloodAttacker(
+            network.endpoint("a"), ["victim"], rng=random.Random(3)
+        )
+        attacker.schedule_rate(rate=50.0, duration=2.0, schedule=schedule)
+        network.run()
+        assert attacker.packets_injected == 100
+        assert len(inbox) == 100
+        assert max(inbox) < 2.0
+
+    def test_rate_flood_validates_inputs(self, network, schedule):
+        attacker = FloodAttacker(network.endpoint("a"), ["victim"])
+        with pytest.raises(ConfigurationError):
+            attacker.schedule_rate(rate=0.0, duration=1.0, schedule=schedule)
+        with pytest.raises(ConfigurationError):
+            attacker.schedule_rate(rate=10.0, duration=0.0, schedule=schedule)
+
+    def test_burst_flood_validates_inputs(self, network, schedule):
+        attacker = FloodAttacker(network.endpoint("a"), ["victim"])
+        with pytest.raises(ConfigurationError):
+            attacker.schedule_bursts(schedule, 0.5, 5, intervals=0)
+        with pytest.raises(ConfigurationError):
+            attacker.schedule_bursts(schedule, 0.5, 5, 3, burst_fraction=0.0)

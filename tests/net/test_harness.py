@@ -1,0 +1,152 @@
+"""Load harness: config validation, sharding, merging, the engine path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ParallelExecutor, SerialExecutor
+from repro.errors import ConfigurationError
+from repro.net.harness import (
+    LoadTestConfig,
+    derive_soak_world,
+    merge_soaks,
+    percentile,
+    run_loadtest,
+    run_loopback_soak,
+)
+from repro.sim.scenario import ScenarioConfig
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 50.0) == 3.0
+        assert percentile(samples, 99.0) == 5.0
+        assert percentile(samples, 100.0) == 5.0
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -1.0)
+
+
+class TestLoadTestConfig:
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(transport="carrier-pigeon")
+
+    def test_rejects_unsupported_protocol(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(protocol="tesla")
+
+    def test_rejects_more_shards_than_receivers(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(receivers=2, shards=3)
+
+    def test_rejects_udp_multi_shard(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(transport="udp", shards=2, receivers=4)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(attack_rate=-1.0)
+
+    def test_shards_partition_receivers_with_distinct_seeds(self):
+        config = LoadTestConfig(receivers=7, shards=3, seed=100)
+        scenarios = [config.scenario_for_shard(s) for s in range(3)]
+        assert [s.receivers for s in scenarios] == [3, 2, 2]
+        assert [s.seed for s in scenarios] == [100, 101, 102]
+        assert all(s.protocol == config.protocol for s in scenarios)
+
+
+class TestDeriveSoakWorld:
+    def test_rejects_non_two_phase_protocols(self):
+        with pytest.raises(ConfigurationError):
+            derive_soak_world(ScenarioConfig(protocol="tesla"))
+
+    def test_sent_authentic_formula(self):
+        world = derive_soak_world(ScenarioConfig(intervals=10, disclosure_delay=2))
+        assert world.sent_authentic == 8
+        assert len(world.receivers) == 5
+
+
+class TestRunLoadtest:
+    CONFIG = LoadTestConfig(
+        receivers=4,
+        shards=2,
+        intervals=16,
+        interval_duration=0.1,
+        attack_fraction=0.5,
+        loss_probability=0.1,
+        seed=21,
+    )
+
+    def test_report_has_throughput_and_latency(self):
+        report = run_loadtest(self.CONFIG)
+        assert report.packets_per_second > 0
+        assert report.latency_p99_us >= report.latency_p50_us > 0
+        assert report.latency_samples > 0
+        assert report.forged_accepted == 0
+        assert report.shards == 2
+        assert report.receivers == 4
+
+    def test_report_roundtrips_through_json(self):
+        report = run_loadtest(self.CONFIG)
+        decoded = json.loads(report.to_json())
+        assert decoded == report.to_dict()
+        assert decoded["transport"] == "loopback"
+        assert decoded["sent_authentic"] == report.sent_authentic
+
+    def test_serial_and_parallel_agree_on_outcomes(self):
+        serial = run_loadtest(self.CONFIG, executor=SerialExecutor())
+        parallel = run_loadtest(self.CONFIG, executor=ParallelExecutor(jobs=2))
+        # timing fields differ; every outcome field must not
+        assert serial.authentication_rate == parallel.authentication_rate
+        assert serial.forged_accepted == parallel.forged_accepted
+        assert serial.datagrams_delivered == parallel.datagrams_delivered
+        assert serial.datagrams_dropped == parallel.datagrams_dropped
+        assert serial.packets_injected == parallel.packets_injected
+
+    def test_merge_requires_results(self):
+        with pytest.raises(ConfigurationError):
+            merge_soaks(self.CONFIG, [])
+
+    def test_faulty_proxy_knobs_reach_the_soak(self):
+        config = LoadTestConfig(
+            receivers=2,
+            intervals=12,
+            interval_duration=0.1,
+            duplicate_probability=1.0,
+            seed=3,
+        )
+        report = run_loadtest(config)
+        assert report.datagrams_duplicated > 0
+
+    def test_rate_flood_overrides_fraction(self):
+        config = LoadTestConfig(
+            receivers=2,
+            intervals=12,
+            interval_duration=0.5,
+            attack_rate=40.0,
+            seed=3,
+        )
+        report = run_loadtest(config)
+        assert report.packets_injected == int(40.0 * 12 * 0.5)
+        assert report.forged_accepted == 0
+
+
+class TestSoakResultProperties:
+    def test_rates_come_from_fleet(self):
+        result = run_loopback_soak(
+            ScenarioConfig(intervals=8, interval_duration=0.2, receivers=2, seed=5)
+        )
+        assert result.authentication_rate == result.fleet.mean_authentication_rate
+        assert result.attack_success_rate == result.fleet.mean_attack_success_rate
+        assert result.simulated_seconds > 0

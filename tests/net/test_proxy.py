@@ -1,0 +1,165 @@
+"""Fault-injection proxy: loss, delay, duplication, reordering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.proxy import FaultInjectionProxy, ProxyConfig
+from repro.net.transport import LoopbackNetwork
+from repro.sim.channel import BernoulliLoss, GilbertElliottLoss
+
+
+@pytest.fixture
+def network():
+    return LoopbackNetwork()
+
+
+def wire_proxy(network, config, downstream=("r0", "r1"), seed=1):
+    inboxes = {}
+    for name in downstream:
+        inbox = []
+        network.endpoint(name).set_handler(
+            lambda data, at, inbox=inbox: inbox.append((data, at))
+        )
+        inboxes[name] = inbox
+    proxy = FaultInjectionProxy(
+        network.endpoint("proxy"),
+        list(downstream),
+        config,
+        rng=random.Random(seed),
+    )
+    source = network.endpoint("src")
+    return proxy, source, inboxes
+
+
+class TestProxyConfig:
+    def test_rejects_out_of_range_probabilities(self):
+        for field in (
+            "loss_probability",
+            "duplicate_probability",
+            "reorder_probability",
+        ):
+            with pytest.raises(ConfigurationError):
+                ProxyConfig(**{field: 1.5})
+            with pytest.raises(ConfigurationError):
+                ProxyConfig(**{field: -0.1})
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(jitter=-0.5)
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(reorder_delay=-0.1)
+
+    def test_loss_process_selection(self):
+        assert isinstance(
+            ProxyConfig(loss_probability=0.2).make_loss_process(), BernoulliLoss
+        )
+        assert isinstance(
+            ProxyConfig(
+                loss_probability=0.2, loss_mean_burst=4.0
+            ).make_loss_process(),
+            GilbertElliottLoss,
+        )
+
+    def test_reorder_delay_defaults_to_twice_base(self):
+        assert ProxyConfig(delay=0.01).effective_reorder_delay == pytest.approx(0.02)
+        assert ProxyConfig(
+            delay=0.01, reorder_delay=0.1
+        ).effective_reorder_delay == pytest.approx(0.1)
+
+
+class TestForwarding:
+    def test_fans_out_to_every_downstream_with_delay(self, network):
+        proxy, source, inboxes = wire_proxy(network, ProxyConfig(delay=0.01))
+        source.send(b"payload", "proxy")
+        network.run()
+        for inbox in inboxes.values():
+            assert inbox == [(b"payload", pytest.approx(0.01))]
+        assert proxy.forwarded == 2
+        assert proxy.dropped == 0
+
+    def test_needs_downstream(self, network):
+        with pytest.raises(ConfigurationError):
+            FaultInjectionProxy(network.endpoint("proxy"), [])
+
+    def test_total_loss_drops_everything(self, network):
+        proxy, source, inboxes = wire_proxy(
+            network, ProxyConfig(loss_probability=1.0)
+        )
+        for _ in range(10):
+            source.send(b"x", "proxy")
+        network.run()
+        assert all(not inbox for inbox in inboxes.values())
+        assert proxy.dropped == 20
+        assert proxy.forwarded == 0
+
+    def test_duplication_delivers_two_copies(self, network):
+        proxy, source, inboxes = wire_proxy(
+            network, ProxyConfig(duplicate_probability=1.0)
+        )
+        source.send(b"x", "proxy")
+        network.run()
+        for inbox in inboxes.values():
+            assert len(inbox) == 2
+        assert proxy.duplicated == 2
+
+    def test_reordering_lets_later_datagrams_overtake(self, network):
+        # Draw order per datagram: loss, then reorder. Script the RNG so
+        # the first datagram is held back and the second is not.
+        inbox = []
+        network.endpoint("r0").set_handler(lambda data, at: inbox.append(data))
+
+        class Scripted(random.Random):
+            def __init__(self, values):
+                super().__init__(0)
+                self.values = list(values)
+
+            def random(self):
+                return self.values.pop(0)
+
+        proxy = FaultInjectionProxy(
+            network.endpoint("proxy"),
+            ["r0"],
+            ProxyConfig(delay=0.01, reorder_delay=0.05, reorder_probability=0.5),
+            # loss(first), reorder(first)=hold, loss(second), reorder(second)
+            rng=Scripted([0.9, 0.0, 0.9, 0.9]),
+        )
+        source = network.endpoint("src")
+        source.send(b"first", "proxy")
+        source.send(b"second", "proxy", delay=0.001)
+        network.run()
+        assert inbox == [b"second", b"first"]
+        assert proxy.reordered == 1
+
+    def test_zero_knobs_draw_once_per_link_per_datagram(self, network):
+        # Parity with BroadcastMedium: a plain-delay proxy consumes
+        # exactly one RNG decision per link per datagram.
+        class CountingRandom(random.Random):
+            def __init__(self):
+                super().__init__(0)
+                self.calls = 0
+
+            def random(self):
+                self.calls += 1
+                return super().random()
+
+        rng = CountingRandom()
+        inboxes = {}
+        for name in ("r0", "r1", "r2"):
+            network.endpoint(name).set_handler(lambda data, at: None)
+        proxy = FaultInjectionProxy(
+            network.endpoint("proxy"),
+            ["r0", "r1", "r2"],
+            ProxyConfig(loss_probability=0.3, delay=0.01),
+            rng=rng,
+        )
+        source = network.endpoint("src")
+        for _ in range(7):
+            source.send(b"x", "proxy")
+        network.run()
+        assert rng.calls == 7 * 3

@@ -1,0 +1,116 @@
+"""Loopback transport semantics: delivery, ordering, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.transport import MAX_DATAGRAM_BYTES, LoopbackNetwork
+
+
+@pytest.fixture
+def network():
+    return LoopbackNetwork()
+
+
+class TestEndpoints:
+    def test_addresses_register_in_order(self, network):
+        network.endpoint("a")
+        network.endpoint("b")
+        assert network.addresses == ["a", "b"]
+
+    def test_duplicate_address_rejected(self, network):
+        network.endpoint("a")
+        with pytest.raises(ConfigurationError):
+            network.endpoint("a")
+
+    def test_empty_address_rejected(self, network):
+        with pytest.raises(ConfigurationError):
+            network.endpoint("")
+
+
+class TestDelivery:
+    def test_datagram_reaches_handler_with_arrival_time(self, network):
+        a = network.endpoint("a")
+        b = network.endpoint("b")
+        seen = []
+        b.set_handler(lambda data, at: seen.append((data, at)))
+        a.send(b"hello", "b", delay=0.25)
+        network.run()
+        assert seen == [(b"hello", 0.25)]
+        assert network.datagrams_delivered == 1
+
+    def test_unknown_address_drops_silently_but_counts(self, network):
+        a = network.endpoint("a")
+        a.send(b"x", "nowhere")
+        network.run()
+        assert network.datagrams_undeliverable == 1
+        assert network.datagrams_delivered == 0
+
+    def test_payload_snapshot_taken_at_send(self, network):
+        a = network.endpoint("a")
+        b = network.endpoint("b")
+        seen = []
+        b.set_handler(lambda data, at: seen.append(data))
+        payload = bytearray(b"mutable")
+        a.send(payload, "b")
+        payload[0] = 0
+        network.run()
+        assert seen == [b"mutable"]
+
+    def test_equal_time_sends_deliver_fifo(self, network):
+        a = network.endpoint("a")
+        b = network.endpoint("b")
+        seen = []
+        b.set_handler(lambda data, at: seen.append(data))
+        for i in range(5):
+            a.send(bytes([i]), "b", delay=1.0)
+        network.run()
+        assert seen == [bytes([i]) for i in range(5)]
+
+    def test_negative_delay_rejected(self, network):
+        a = network.endpoint("a")
+        network.endpoint("b")
+        with pytest.raises(ConfigurationError):
+            a.send(b"x", "b", delay=-0.1)
+
+
+class TestAccounting:
+    def test_send_counters(self, network):
+        a = network.endpoint("a")
+        network.endpoint("b")
+        a.send(b"xyz", "b")
+        a.send(b"pq", "b")
+        assert a.datagrams_sent == 2
+        assert a.bytes_sent == 5
+
+    def test_oversized_datagram_rejected(self, network):
+        a = network.endpoint("a")
+        network.endpoint("b")
+        with pytest.raises(ConfigurationError):
+            a.send(b"z" * (MAX_DATAGRAM_BYTES + 1), "b")
+
+    def test_single_handler_enforced(self, network):
+        a = network.endpoint("a")
+        a.set_handler(lambda data, at: None)
+        with pytest.raises(ConfigurationError):
+            a.set_handler(lambda data, at: None)
+
+
+class TestTimers:
+    def test_call_at_fires_at_virtual_time(self, network):
+        a = network.endpoint("a")
+        fired = []
+        a.call_at(2.0, lambda: fired.append(a.now()))
+        network.run(until=1.0)
+        assert fired == []
+        network.run()
+        assert fired == [2.0]
+
+    def test_call_at_in_the_past_rejected(self, network):
+        a = network.endpoint("a")
+        network.endpoint("b")
+        a.send(b"x", "b", delay=1.0)
+        network.run()
+        with pytest.raises(SimulationError):
+            a.call_at(0.5, lambda: None)

@@ -114,6 +114,16 @@ class TestDecodeRobustness:
             with pytest.raises(ProtocolError):
                 decode_packet(full[:cut])
 
+    @pytest.mark.parametrize("packet", SAMPLES, ids=lambda p: type(p).__name__)
+    def test_truncation_fuzz_every_type_every_boundary(self, packet):
+        """Fuzz: every encoded packet type, cut at every byte boundary,
+        must raise ProtocolError — exactly what a receiver daemon sees
+        when a datagram is clipped in flight."""
+        full = encode_packet(packet)
+        for cut in range(len(full)):
+            with pytest.raises(ProtocolError):
+                decode_packet(full[:cut])
+
     def test_trailing_garbage_rejected(self):
         full = encode_packet(MacAnnouncePacket(1, MAC))
         with pytest.raises(ProtocolError):

@@ -91,6 +91,20 @@ class TestGilbertElliott:
                 0.9, mean_burst=3.0, loss_good=0.0, loss_bad=0.5
             )
 
+    @pytest.mark.parametrize("average", [-0.1, 1.0, 1.5, float("nan"), float("inf")])
+    def test_from_average_rejects_out_of_range_average(self, average):
+        with pytest.raises(ValueError, match="average_loss"):
+            GilbertElliottLoss.from_average(average, mean_burst=3.0)
+
+    @pytest.mark.parametrize("burst", [0.0, 0.99, -1.0, float("nan"), float("inf")])
+    def test_from_average_rejects_degenerate_burst(self, burst):
+        with pytest.raises(ValueError, match="mean_burst"):
+            GilbertElliottLoss.from_average(0.3, mean_burst=burst)
+
+    def test_boundary_average_zero_still_allowed(self):
+        channel = GilbertElliottLoss.from_average(0.0, mean_burst=3.0)
+        assert channel.average_loss() == pytest.approx(0.0)
+
 
 class TestMediumIntegration:
     def test_link_quality_builds_process(self):

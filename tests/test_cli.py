@@ -177,3 +177,87 @@ class TestPortrait:
         out = capsys.readouterr().out
         assert "@" in out
         assert "rest points" in out
+
+
+class TestLoadtest:
+    ARGS = [
+        "loadtest", "--transport", "loopback", "--receivers", "2",
+        "--intervals", "12", "--interval-duration", "0.1",
+        "--p", "0.5", "--seed", "3",
+    ]
+
+    def test_emits_json_report(self, capsys):
+        import json
+
+        assert main(self.ARGS) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["transport"] == "loopback"
+        assert report["packets_per_second"] > 0
+        assert report["latency_p99_us"] >= report["latency_p50_us"] > 0
+        assert report["forged_accepted"] == 0
+
+    def test_rejects_jobs_below_one(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_rejects_non_integer_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--jobs", "2.5"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_rejects_non_integer_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--rate", "10.5"])
+        assert excinfo.value.code == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_rejects_negative_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.ARGS + ["--rate", "-5"])
+        assert excinfo.value.code == 2
+
+    def test_rejects_bad_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--transport", "pigeon"])
+
+    def test_config_errors_reported_cleanly(self, capsys):
+        # shards > receivers is a library-level ConfigurationError
+        assert main(self.ARGS + ["--shards", "5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_parallel_jobs_accepted(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--shards", "2", "--jobs", "2"]) == 0
+        assert json.loads(capsys.readouterr().out)["shards"] == 2
+
+
+class TestServeAttackParsing:
+    def test_serve_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_attack_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack"])
+
+    def test_attack_rejects_fractional_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["attack", "--port", "9000", "--rate", "99.5"]
+            )
+        assert excinfo.value.code == 2
+
+    def test_serve_rejects_port_zero(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "0"])
+
+    def test_attack_runs_against_closed_port(self, capsys):
+        assert main([
+            "attack", "--port", "45998", "--rate", "40",
+            "--duration", "0.25", "--interval-duration", "0.5",
+        ]) == 0
+        assert "injected 10 forged announcements" in capsys.readouterr().out
