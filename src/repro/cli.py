@@ -12,6 +12,8 @@ Subcommands::
     repro loadtest    soak the live testbed, emit a JSON report
     repro serve       stand up a live UDP deployment on localhost
     repro attack      flood a testbed deployment with forgeries
+    repro profile     cProfile + perf counters over a scenario preset
+    repro bench       crypto/scenario bench suite -> BENCH_crypto.json
 
 Every subcommand is a thin shim over the library — anything printed
 here is available programmatically (see README).
@@ -37,6 +39,7 @@ from repro.analysis.trajectories import regime_bands
 from repro.engine import Executor, ResultCache, executor_for
 from repro.errors import ReproError
 from repro.net.harness import LoadTestConfig, run_loadtest
+from repro.perf.bench import BENCH_PRESETS, SCENARIO_PRESETS
 from repro.game.ess import fixed_points, realized_ess
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
 from repro.game.parameters import GameParameters, paper_parameters
@@ -71,6 +74,26 @@ def _nonnegative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite, strictly positive number.
+
+    Durations and repeat intervals must be rejected at parse time —
+    a negative duration otherwise surfaces deep inside the scheduler as
+    a confusing :class:`SchedulingError`.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {text!r}"
+        ) from None
+    if not value > 0 or value == float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"expected a positive finite number, got {text!r}"
         )
     return value
 
@@ -200,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="independent soak worlds (loopback; pairs with --jobs)",
     )
     loadtest.add_argument("--intervals", type=_positive_int, default=40)
-    loadtest.add_argument("--interval-duration", type=float, default=0.05)
+    loadtest.add_argument("--interval-duration", type=_positive_float, default=0.05)
     loadtest.add_argument("--buffers", type=_positive_int, default=4)
     loadtest.add_argument("--p", type=float, default=0.0, help="attack fraction")
     loadtest.add_argument(
@@ -226,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--protocol", choices=("dap", "tesla_pp"), default="dap")
     serve.add_argument("--receivers", type=_positive_int, default=2)
     serve.add_argument("--intervals", type=_positive_int, default=20)
-    serve.add_argument("--interval-duration", type=float, default=0.5)
+    serve.add_argument("--interval-duration", type=_positive_float, default=0.5)
     serve.add_argument("--buffers", type=_positive_int, default=4)
     serve.add_argument("--seed", type=int, default=7)
 
@@ -236,8 +259,63 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument(
         "--rate", type=_positive_int, default=200, metavar="PKTS_PER_SEC"
     )
-    attack.add_argument("--duration", type=float, default=5.0)
-    attack.add_argument("--interval-duration", type=float, default=0.5)
+    attack.add_argument("--duration", type=_positive_float, default=5.0)
+    attack.add_argument("--interval-duration", type=_positive_float, default=0.5)
+
+    profile = sub.add_parser(
+        "profile", help="cProfile + perf counters over a scenario preset"
+    )
+    profile.add_argument(
+        "--preset",
+        choices=sorted(SCENARIO_PRESETS),
+        default="fig5",
+        help="scenario to measure (fig5: the paper's Fig. 5 operating point)",
+    )
+    profile.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="scenario runs to accumulate into one report",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=15,
+        help="cProfile hotspot rows to keep",
+    )
+    profile.add_argument(
+        "--interval-duration",
+        type=_positive_float,
+        default=None,
+        help="override the preset's interval duration (seconds)",
+    )
+    profile.add_argument("--seed", type=int, default=None, help="override preset seed")
+    profile.add_argument(
+        "--out", type=Path, default=None, help="also write the JSON report here"
+    )
+
+    bench = sub.add_parser(
+        "bench", help="run the crypto/scenario bench suite, write JSON"
+    )
+    bench.add_argument(
+        "--json",
+        dest="json_path",
+        type=Path,
+        default=Path("BENCH_crypto.json"),
+        help="output path for the bench document",
+    )
+    bench.add_argument(
+        "--preset",
+        choices=sorted(BENCH_PRESETS),
+        default="smoke",
+        help="bench sizing (smoke: CI-sized, full: the checked-in artifact)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=3,
+        help="best-of repetitions per timed section",
+    )
 
     return parser
 
@@ -544,6 +622,69 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.perf.profiler import profile_call
+    from repro.sim.scenario import run_scenario
+
+    config = SCENARIO_PRESETS[args.preset]
+    overrides = {}
+    if args.interval_duration is not None:
+        overrides["interval_duration"] = args.interval_duration
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    def measured() -> None:
+        for _ in range(args.repeat):
+            run_scenario(config)
+
+    outcome = profile_call(
+        measured, label=f"scenario:{args.preset} x{args.repeat}", top=args.top
+    )
+    document = outcome.report.to_json()
+    # Write the file before printing: a closed stdout pipe (| head)
+    # kills the process mid-print, and --out should survive that.
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(document + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(document)
+    if outcome.report.counters.get("crypto.hash", 0) == 0:
+        print(
+            "error: profiled run reported zero hash invocations —"
+            " perf counters are unwired",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_bench, write_bench_json
+
+    document = run_bench(preset=args.preset, repeat=args.repeat)
+    write_bench_json(args.json_path, document)
+    results = document["results"]
+    rows = [
+        ("one-way (midstate vs naive)", results["one_way"]["speedup"]),
+        ("keychain flood walks", results["keychain_walks"]["speedup"]),
+        ("mac verify_many", results["mac_verify"]["speedup"]),
+        ("scenario wall", results["scenario"]["speedup"]),
+    ]
+    for label, speedup in rows:
+        print(f"{label:<30}: {speedup:.2f}x")
+    pebbled = results["pebbled"]
+    print(
+        f"{'pebbled chain storage':<30}: {pebbled['peak_stored_keys']} peak keys"
+        f" (bound {pebbled['peak_bound']}, dense {pebbled['dense_stored_keys']})"
+    )
+    print(f"wrote {args.json_path}")
+    return 0
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "optimize": _cmd_optimize,
@@ -555,6 +696,8 @@ _COMMANDS = {
     "loadtest": _cmd_loadtest,
     "serve": _cmd_serve,
     "attack": _cmd_attack,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 

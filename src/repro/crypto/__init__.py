@@ -5,6 +5,12 @@ with explicit domain separation and bit-accurate output widths so the
 storage/bandwidth accounting matches the paper's numbers.
 """
 
+from repro.crypto.kernels import (
+    ChainWalkCache,
+    kernels_disabled,
+    kernels_enabled,
+    set_kernels_enabled,
+)
 from repro.crypto.keychain import (
     KeyChain,
     KeyChainAuthenticator,
@@ -25,6 +31,12 @@ from repro.crypto.onewayfn import (
     standard_functions,
     truncate_to_bits,
 )
+from repro.crypto.pebbled import (
+    PEBBLED_THRESHOLD,
+    PebbledKeyChain,
+    make_key_chain,
+    pebble_bound,
+)
 
 __all__ = [
     "DEFAULT_KEY_BITS",
@@ -32,13 +44,21 @@ __all__ = [
     "INDEX_BITS",
     "MESSAGE_BITS",
     "MICRO_MAC_BITS",
+    "PEBBLED_THRESHOLD",
+    "ChainWalkCache",
     "KeyChain",
     "KeyChainAuthenticator",
     "MacScheme",
     "MicroMacScheme",
     "OneWayFunction",
+    "PebbledKeyChain",
     "TwoLevelKeyChain",
     "derive_seed_key",
+    "kernels_disabled",
+    "kernels_enabled",
+    "make_key_chain",
+    "pebble_bound",
+    "set_kernels_enabled",
     "standard_functions",
     "truncate_to_bits",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Optional
 
+from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.onewayfn import (
     DEFAULT_KEY_BITS,
     OneWayFunction,
@@ -90,10 +91,10 @@ def recover_low_chain_key(
             f" {anchor}, only {high_index} disclosed"
         )
     anchor_key = f0.iterate(high_key, high_index - anchor)
-    value = f01(anchor_key)
-    for _ in range(low_length - sub_index):
-        value = f1(value)
-    return value
+    # Route the low-chain descent through iterate() too, so both walks
+    # use the midstate-cached kernel rather than re-absorbing the
+    # domain label per step.
+    return f1.iterate(f01(anchor_key), low_length - sub_index)
 
 
 def derive_seed_key(seed: bytes, label: str, key_bits: int = DEFAULT_KEY_BITS) -> bytes:
@@ -221,6 +222,11 @@ class KeyChainAuthenticator:
             applications a single verification may perform (guards
             against a flooding attacker submitting huge indices to burn
             receiver CPU — itself a DoS vector).
+        walk_cache: optional :class:`~repro.crypto.kernels.
+            ChainWalkCache` memoizing back-walks, which turns the
+            re-verification of a duplicate-flooded disclosure from
+            O(gap) hashes into an O(1) lookup. Must wrap the same
+            ``function``; results are bit-identical either way.
     """
 
     def __init__(
@@ -228,12 +234,18 @@ class KeyChainAuthenticator:
         commitment: bytes,
         function: OneWayFunction,
         max_gap: Optional[int] = None,
+        walk_cache: Optional["ChainWalkCache"] = None,
     ) -> None:
         if not commitment:
             raise ConfigurationError("commitment must be non-empty")
         if max_gap is not None and max_gap <= 0:
             raise ConfigurationError(f"max_gap must be positive, got {max_gap}")
+        if walk_cache is not None and walk_cache.function is not function:
+            raise ConfigurationError(
+                "walk_cache must wrap the authenticator's one-way function"
+            )
         self._function = function
+        self._iterate = walk_cache.iterate if walk_cache is not None else function.iterate
         self._trusted_key = bytes(commitment)
         self._trusted_index = 0
         self._max_gap = max_gap
@@ -277,7 +289,7 @@ class KeyChainAuthenticator:
             raise KeyVerificationError(
                 f"disclosure gap {gap} exceeds max_gap {self._max_gap}"
             )
-        if self._function.iterate(candidate, gap) != self._trusted_key:
+        if self._iterate(candidate, gap) != self._trusted_key:
             return False
         self._trusted_key = bytes(candidate)
         self._trusted_index = index
@@ -296,7 +308,7 @@ class KeyChainAuthenticator:
             raise KeyChainError(
                 f"key {index} is newer than trusted index {self._trusted_index}"
             )
-        return self._function.iterate(self._trusted_key, self._trusted_index - index)
+        return self._iterate(self._trusted_key, self._trusted_index - index)
 
 
 class TwoLevelKeyChain:

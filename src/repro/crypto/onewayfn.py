@@ -28,6 +28,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict
 
+from repro import perf
+from repro.crypto import kernels
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -91,32 +93,71 @@ class OneWayFunction:
             raise ConfigurationError(
                 f"output_bits must be in (0, 256], got {self.output_bits}"
             )
+        # Hot-path precomputation (object.__setattr__: the dataclass is
+        # frozen; these derived values are not fields, so equality,
+        # hashing and pickling are unaffected). The prefix is what the
+        # midstate cache in repro.crypto.kernels is keyed by.
+        object.__setattr__(
+            self, "_prefix", b"repro.owf|" + self.label.encode("utf-8") + b"|"
+        )
+        nbytes = (self.output_bits + 7) // 8
+        spare = nbytes * 8 - self.output_bits
+        object.__setattr__(self, "_nbytes", nbytes)
+        object.__setattr__(self, "_mask", (0xFF << spare) & 0xFF if spare else 0)
 
     @property
     def output_bytes(self) -> int:
         """Size of the output in whole bytes."""
         return (self.output_bits + 7) // 8
 
+    def _truncate(self, digest: bytes) -> bytes:
+        """Inlined :func:`truncate_to_bits` for pre-validated widths."""
+        out = digest[: self._nbytes]
+        if self._mask:
+            out = out[:-1] + bytes((out[-1] & self._mask,))
+        return out
+
     def __call__(self, value: bytes) -> bytes:
         """Apply the one-way function once."""
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError(f"expected bytes input, got {type(value).__name__}")
-        digest = hashlib.sha256(
-            b"repro.owf|" + self.label.encode("utf-8") + b"|" + bytes(value)
-        ).digest()
-        return truncate_to_bits(digest, self.output_bits)
+        active = perf.ACTIVE
+        if active is not None:
+            active.incr("crypto.hash")
+        if kernels.ENABLED:
+            h = kernels.sha256_midstate(self._prefix).copy()
+            h.update(value)
+            return self._truncate(h.digest())
+        return self._truncate(hashlib.sha256(self._prefix + bytes(value)).digest())
 
     def iterate(self, value: bytes, times: int) -> bytes:
         """Apply the function ``times`` times (``times = 0`` is identity).
 
         Key-chain verification walks a disclosed key back to the last
-        authenticated key with exactly this operation.
+        authenticated key with exactly this operation, so the loop
+        clones the cached midstate per step instead of going back
+        through :meth:`__call__`'s per-call setup.
         """
         if times < 0:
             raise ConfigurationError(f"iteration count must be >= 0, got {times}")
         result = bytes(value)
-        for _ in range(times):
-            result = self(result)
+        if times == 0:
+            return result
+        active = perf.ACTIVE
+        if active is not None:
+            active.incr("crypto.hash", times)
+            active.observe("crypto.chain_walk", times)
+        truncate = self._truncate
+        if kernels.ENABLED:
+            midstate = kernels.sha256_midstate(self._prefix)
+            for _ in range(times):
+                h = midstate.copy()
+                h.update(result)
+                result = truncate(h.digest())
+        else:
+            prefix = self._prefix
+            for _ in range(times):
+                result = truncate(hashlib.sha256(prefix + result).digest())
         return result
 
 

@@ -68,6 +68,14 @@ def _fold(h: "hashlib._Hash", value: Any) -> None:
         _fold(h, value.value)
     elif isinstance(value, np.ndarray):
         canonical = np.ascontiguousarray(value)
+        # Normalise byte order to little-endian: '>f8' and '<f8' arrays
+        # with equal values must share a key (and tobytes() would differ
+        # between them), or keys stop being portable across workers on
+        # mixed-endian fleets and cache round-trips through files.
+        if canonical.dtype.byteorder == ">" or (
+            canonical.dtype.byteorder == "=" and not np.little_endian
+        ):
+            canonical = canonical.astype(canonical.dtype.newbyteorder("<"))
         _update(h, b"ndarray", str(canonical.dtype).encode("ascii"))
         _update(h, b"shape", str(canonical.shape).encode("ascii"))
         _update(h, b"data", canonical.tobytes())

@@ -30,6 +30,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.engine import Executor, run_tasks
 from repro.errors import ConfigurationError
 from repro.net.daemons import Broadcaster, ReceiverDaemon
@@ -249,6 +250,12 @@ def run_loopback_soak(
         nodes=tuple(daemon.node_summary() for daemon in daemons),
         sent_authentic=world.sent_authentic,
     )
+    wall = time.perf_counter() - started
+    active = perf.ACTIVE
+    if active is not None:
+        active.observe("net.soak_wall_seconds", wall)
+        active.incr("net.datagrams_delivered", network.datagrams_delivered)
+        active.incr("net.datagrams_dropped", proxy.dropped)
     return SoakResult(
         fleet=fleet,
         sent_authentic=world.sent_authentic,
@@ -260,7 +267,7 @@ def run_loopback_soak(
         malformed=sum(daemon.malformed for daemon in daemons),
         packets_injected=attacker.packets_injected if attacker else 0,
         simulated_seconds=network.now,
-        wall_seconds=time.perf_counter() - started,
+        wall_seconds=wall,
     )
 
 

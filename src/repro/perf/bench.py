@@ -1,0 +1,319 @@
+"""The JSON bench runner behind ``repro bench`` and CI's perf-smoke step.
+
+Benchmarks here are *comparative*: each section measures the naive
+reference path and the kernel path on the same workload in the same
+process, so the JSON it writes (``BENCH_crypto.json`` at the repo root)
+carries defensible speedup ratios rather than machine-dependent
+absolute numbers. Absolute ops/sec are reported too — they anchor the
+ratios — but the checked-in artifact's claim is the ratio column.
+
+Sections:
+
+``one_way``
+    Single one-way-function applications, midstate vs naive.
+``keychain_walks``
+    The paper's DoS shape: a receiver back-walking repeated disclosures
+    across a gap. Naive = kernels off, no memo; kernel = midstate +
+    :class:`~repro.crypto.kernels.ChainWalkCache`. This is the ratio the
+    acceptance bar (>= 2x) applies to.
+``mac_verify``
+    Batched :meth:`~repro.crypto.mac.MacScheme.verify_many` vs per-pair
+    :meth:`~repro.crypto.mac.MacScheme.verify`.
+``pebbled``
+    Sequential sender traversal cost plus the memory story (stored and
+    peak pebbles vs the dense chain's ``n`` keys).
+``scenario``
+    A full seeded :func:`~repro.sim.scenario.run_scenario` under
+    :func:`repro.perf.collecting`, kernels on vs off, with the counter
+    deltas that prove the run exercised the crypto hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict
+
+from repro.crypto.kernels import ChainWalkCache, set_kernels_enabled
+from repro.crypto.keychain import KeyChain, KeyChainAuthenticator
+from repro.crypto.mac import MacScheme
+from repro.crypto.onewayfn import OneWayFunction
+from repro.crypto.pebbled import PebbledKeyChain, pebble_bound
+from repro.errors import ConfigurationError, ReproError
+from repro.perf import collecting
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+__all__ = [
+    "BENCH_PRESETS",
+    "SCENARIO_PRESETS",
+    "run_bench",
+    "write_bench_json",
+]
+
+#: Scenario presets shared by ``repro bench`` and ``repro profile``.
+#: ``fig5`` is the paper's Fig. 5 operating point: DAP under a 50%
+#: flooding attack on a lossy channel.
+SCENARIO_PRESETS: Dict[str, ScenarioConfig] = {
+    "fig5": ScenarioConfig(
+        protocol="dap",
+        intervals=40,
+        receivers=5,
+        buffers=4,
+        attack_fraction=0.5,
+        loss_probability=0.1,
+        seed=7,
+    ),
+    "smoke": ScenarioConfig(
+        protocol="dap",
+        intervals=12,
+        receivers=3,
+        buffers=4,
+        attack_fraction=0.5,
+        loss_probability=0.1,
+        seed=7,
+    ),
+}
+
+#: Bench sizing presets: (one-way ops, walk gap, walk repeats, MAC batch,
+#: pebbled chain length, scenario preset).
+BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "oneway_ops": 2000,
+        "walk_gap": 64,
+        "walk_repeats": 200,
+        "mac_batch": 64,
+        "mac_rounds": 20,
+        "pebbled_length": 4096,
+        "scenario": "smoke",
+    },
+    "full": {
+        "oneway_ops": 20000,
+        "walk_gap": 64,
+        "walk_repeats": 2000,
+        "mac_batch": 64,
+        "mac_rounds": 200,
+        "pebbled_length": 65536,
+        "scenario": "fig5",
+    },
+}
+
+
+def _best_rate(fn: Callable[[], int], repeat: int) -> float:
+    """Best-of-``repeat`` throughput of ``fn`` in ops/sec.
+
+    ``fn`` returns the number of operations it performed. Best-of
+    timing (rather than mean) is the standard defence against scheduler
+    noise on shared CI runners.
+    """
+    best = 0.0
+    for _ in range(repeat):
+        started = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+def _bench_one_way(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    function = OneWayFunction("F")
+    payload = b"\x5a" * function.output_bytes
+    ops = int(preset["oneway_ops"])
+
+    def burst() -> int:
+        value = payload
+        for _ in range(ops):
+            value = function(value)
+        return ops
+
+    set_kernels_enabled(False)
+    naive = _best_rate(burst, repeat)
+    set_kernels_enabled(True)
+    midstate = _best_rate(burst, repeat)
+    return {
+        "ops": ops,
+        "naive_ops_per_sec": round(naive, 1),
+        "kernel_ops_per_sec": round(midstate, 1),
+        "speedup": round(midstate / naive, 3) if naive else 0.0,
+    }
+
+
+def _bench_keychain_walks(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    """The flooding-receiver shape: the same disclosure verified over and
+    over across a ``gap``-step back-walk (duplicate floods, re-disclosures,
+    retransmissions). One walk per repetition naive; one walk total cached.
+    """
+    gap = int(preset["walk_gap"])
+    repeats = int(preset["walk_repeats"])
+    function = OneWayFunction("F")
+    chain = KeyChain(b"bench-seed", gap + 1, function)
+    # A forged disclosure never advances the trusted anchor, so a
+    # duplicate flood makes the naive receiver repeat the full O(gap)
+    # back-walk per copy — the exact CPU-DoS shape the walk cache kills.
+    forged = bytes(b ^ 0xA5 for b in chain.key(gap))
+
+    def naive_burst() -> int:
+        authenticator = KeyChainAuthenticator(chain.commitment, function)
+        for _ in range(repeats):
+            authenticator.authenticate(forged, gap)
+        return repeats
+
+    def cached_burst() -> int:
+        authenticator = KeyChainAuthenticator(
+            chain.commitment, function, walk_cache=ChainWalkCache(function)
+        )
+        for _ in range(repeats):
+            authenticator.authenticate(forged, gap)
+        return repeats
+
+    set_kernels_enabled(False)
+    naive = _best_rate(naive_burst, repeat)
+    set_kernels_enabled(True)
+    cached = _best_rate(cached_burst, repeat)
+    return {
+        "gap": gap,
+        "repeats": repeats,
+        "naive_ops_per_sec": round(naive, 1),
+        "kernel_ops_per_sec": round(cached, 1),
+        "speedup": round(cached / naive, 3) if naive else 0.0,
+    }
+
+
+def _bench_mac_verify(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    scheme = MacScheme()
+    key = b"\x42" * 10
+    batch = int(preset["mac_batch"])
+    rounds = int(preset["mac_rounds"])
+    pairs = [
+        (b"message-%06d" % i, scheme.compute(key, b"message-%06d" % i))
+        for i in range(batch)
+    ]
+
+    def per_pair() -> int:
+        for _ in range(rounds):
+            for message, mac in pairs:
+                scheme.verify(key, message, mac)
+        return rounds * batch
+
+    def batched() -> int:
+        for _ in range(rounds):
+            scheme.verify_many(key, pairs)
+        return rounds * batch
+
+    set_kernels_enabled(False)
+    naive = _best_rate(per_pair, repeat)
+    set_kernels_enabled(True)
+    many = _best_rate(batched, repeat)
+    return {
+        "batch": batch,
+        "naive_ops_per_sec": round(naive, 1),
+        "kernel_ops_per_sec": round(many, 1),
+        "speedup": round(many / naive, 3) if naive else 0.0,
+    }
+
+
+def _bench_pebbled(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    length = int(preset["pebbled_length"])
+    function = OneWayFunction("F")
+    chain = PebbledKeyChain(b"bench-seed", length, function)
+
+    def traverse() -> int:
+        for index in range(1, length + 1):
+            chain.key(index)
+        return length
+
+    rate = _best_rate(traverse, max(1, repeat // 2))
+    return {
+        "length": length,
+        "traversal_keys_per_sec": round(rate, 1),
+        "stored_keys": chain.stored_keys,
+        "peak_stored_keys": chain.peak_stored_keys,
+        "peak_bound": pebble_bound(length),
+        "dense_stored_keys": length + 1,
+    }
+
+
+def _bench_scenario(preset: Dict[str, Any]) -> Dict[str, Any]:
+    config = SCENARIO_PRESETS[str(preset["scenario"])]
+
+    set_kernels_enabled(False)
+    with collecting() as naive_registry:
+        started = time.perf_counter()
+        naive_result = run_scenario(config)
+        naive_wall = time.perf_counter() - started
+
+    set_kernels_enabled(True)
+    with collecting() as kernel_registry:
+        started = time.perf_counter()
+        kernel_result = run_scenario(config)
+        kernel_wall = time.perf_counter() - started
+
+    if naive_result.fleet != kernel_result.fleet:
+        raise ReproError(
+            "kernel on/off scenario runs diverged — the kernels are not"
+            " bit-identical to the reference paths"
+        )
+    return {
+        "preset": str(preset["scenario"]),
+        "naive_wall_seconds": round(naive_wall, 4),
+        "kernel_wall_seconds": round(kernel_wall, 4),
+        "speedup": round(naive_wall / kernel_wall, 3) if kernel_wall else 0.0,
+        "identical_summaries": True,
+        "counters": dict(kernel_registry.counters),
+        "walk_cache_hit_rate": round(
+            kernel_registry.hit_rate(
+                "crypto.walk_cache.hits", "crypto.walk_cache.misses"
+            ),
+            4,
+        ),
+    }
+
+
+def run_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
+    """Run every bench section and return the JSON-ready document.
+
+    Raises:
+        ConfigurationError: for unknown presets or non-positive repeat.
+        ReproError: if the instrumented scenario reports zero hash
+            invocations (the CI tripwire: it means the counters came
+            unwired from the hot path) or if kernel on/off runs diverge.
+    """
+    if preset not in BENCH_PRESETS:
+        raise ConfigurationError(
+            f"unknown bench preset {preset!r}; choose from {sorted(BENCH_PRESETS)}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    sizes = BENCH_PRESETS[preset]
+    previous = set_kernels_enabled(True)
+    try:
+        results = {
+            "one_way": _bench_one_way(sizes, repeat),
+            "keychain_walks": _bench_keychain_walks(sizes, repeat),
+            "mac_verify": _bench_mac_verify(sizes, repeat),
+            "pebbled": _bench_pebbled(sizes, repeat),
+            "scenario": _bench_scenario(sizes),
+        }
+    finally:
+        set_kernels_enabled(previous)
+    hashes = results["scenario"]["counters"].get("crypto.hash", 0)
+    macs = results["scenario"]["counters"].get("crypto.mac", 0)
+    if hashes == 0 or macs == 0:
+        raise ReproError(
+            "instrumented scenario reported zero hash/MAC invocations —"
+            " perf counters are unwired from the crypto hot path"
+        )
+    return {
+        "preset": preset,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def write_bench_json(path: Path, document: Dict[str, Any]) -> None:
+    """Write the bench document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

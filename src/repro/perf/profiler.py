@@ -1,0 +1,97 @@
+"""cProfile + counter wrapper: one call in, one :class:`PerfReport` out.
+
+``repro profile`` is a thin shim over :func:`profile_call`, which runs
+any callable under both the deterministic-counter layer (hash/MAC
+invocations, chain-walk lengths, queue depths) and ``cProfile`` (where
+the wall time actually went), then folds both views into a single
+JSON-ready report. The counters say *how much work* the run did; the
+profile says *which Python frames* burned the time — hot-path PRs need
+both numbers to argue an optimisation moved either one.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import perf
+from repro.errors import ConfigurationError
+from repro.perf.registry import PerfRegistry
+from repro.perf.report import PerfReport
+
+__all__ = ["ProfileOutcome", "profile_call"]
+
+
+@dataclass(frozen=True)
+class ProfileOutcome:
+    """What :func:`profile_call` hands back."""
+
+    result: Any
+    report: PerfReport
+
+
+def _hotspot_rows(profiler: cProfile.Profile, top: int) -> List[Dict[str, Any]]:
+    """Top ``top`` frames by cumulative time, JSON-ready."""
+    stats = pstats.Stats(profiler)
+    rows: List[Dict[str, Any]] = []
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][3],
+        reverse=True,
+    )
+    for (filename, lineno, name), (_cc, ncalls, tottime, cumtime, _callers) in entries:
+        where = f"{Path(filename).name}:{lineno}" if lineno else filename
+        rows.append(
+            {
+                "function": f"{where}:{name}",
+                "calls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+        if len(rows) >= top:
+            break
+    return rows
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    label: str = "",
+    top: int = 15,
+    registry: Optional[PerfRegistry] = None,
+    **kwargs: Any,
+) -> ProfileOutcome:
+    """Run ``fn(*args, **kwargs)`` under counters + cProfile.
+
+    Args:
+        fn: the callable to measure.
+        label: report label (defaults to the callable's qualname).
+        top: hotspot rows to keep, hottest (by cumulative time) first.
+        registry: collect into an existing registry instead of a fresh
+            one (lets a caller accumulate several profiled calls).
+
+    Returns:
+        :class:`ProfileOutcome` with the callable's return value and
+        the frozen :class:`PerfReport`.
+    """
+    if top < 1:
+        raise ConfigurationError(f"top must be >= 1, got {top}")
+    profiler = cProfile.Profile()
+    with perf.collecting(registry) as active:
+        started = time.perf_counter()
+        try:
+            result = profiler.runcall(fn, *args, **kwargs)
+        finally:
+            wall = time.perf_counter() - started
+    report = PerfReport.from_registry(
+        active,
+        label=label or getattr(fn, "__qualname__", repr(fn)),
+        wall_seconds=wall,
+        hotspots=_hotspot_rows(profiler, top),
+    )
+    return ProfileOutcome(result=result, report=report)

@@ -1,0 +1,126 @@
+"""Counter/timer registry backing the instrumentation layer.
+
+A :class:`PerfRegistry` is a plain bag of named counters, value
+observations and accumulated timers. It has no opinions about *what*
+gets counted — the hot paths (crypto kernels, the simulator loop, the
+broadcast medium, the net harness) pick their own names, documented in
+``docs/API.md``. Registries are cheap to create and are normally used
+through :func:`repro.perf.collecting`, which installs one as the
+process-wide active registry for the duration of a block.
+
+Hot paths guard every update with ``if perf.ACTIVE is not None`` so a
+disabled registry costs one global load per call site and nothing else
+(see ``benchmarks/bench_perf_overhead.py`` for the guard bench).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator
+
+__all__ = ["Observation", "PerfRegistry"]
+
+
+class Observation:
+    """Running summary of an observed value stream (count/total/min/max)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def update(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 before the first sample)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready summary."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Observation(count={self.count}, mean={self.mean:.4g})"
+
+
+class PerfRegistry:
+    """Named counters, observations and timers for one measurement run.
+
+    All methods are cheap dictionary updates; the registry is intended
+    for single-threaded measurement (the simulator, the loopback soak
+    and the asyncio UDP world all run their hot loops on one thread).
+    """
+
+    __slots__ = ("counters", "observations", "timers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.observations: Dict[str, Observation] = {}
+        self.timers: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into observation stream ``name``."""
+        stat = self.observations.get(name)
+        if stat is None:
+            stat = self.observations[name] = Observation()
+        stat.update(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the block into timer ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+
+    def hit_rate(self, hits: str, misses: str) -> float:
+        """``hits / (hits + misses)`` over two counters (0.0 when idle)."""
+        h = self.counters.get(hits, 0)
+        total = h + self.counters.get(misses, 0)
+        return h / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "observations": {
+                name: stat.to_dict() for name, stat in self.observations.items()
+            },
+            "timers": dict(self.timers),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PerfRegistry(counters={len(self.counters)},"
+            f" observations={len(self.observations)}, timers={len(self.timers)})"
+        )

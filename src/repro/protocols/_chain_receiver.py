@@ -17,6 +17,7 @@ import random
 from typing import List, Optional, Set, Tuple
 
 from repro.buffers.pool import IndexedBufferPool
+from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.keychain import KeyChainAuthenticator
 from repro.crypto.mac import MacScheme
 from repro.crypto.onewayfn import OneWayFunction
@@ -63,8 +64,14 @@ class ChainReceiverCore:
             )
         # Gap bound caps the hash work a forged disclosure can cause
         # (computational-DoS hardening; see the adversarial test suite).
+        # The walk cache dedupes repeated back-walks — a flooding
+        # attacker replaying one forged disclosure pays the receiver a
+        # dict lookup, not a fresh O(gap) walk.
         self._authenticator = KeyChainAuthenticator(
-            commitment, function, max_gap=max_key_gap
+            commitment,
+            function,
+            max_gap=max_key_gap,
+            walk_cache=ChainWalkCache(function),
         )
         self._condition = condition
         self._mac = mac_scheme

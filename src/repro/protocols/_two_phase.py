@@ -26,8 +26,10 @@ import random
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.buffers.pool import IndexedBufferPool
-from repro.crypto.keychain import KeyChain, KeyChainAuthenticator
+from repro.crypto.kernels import ChainWalkCache
+from repro.crypto.keychain import KeyChainAuthenticator
 from repro.crypto.mac import INDEX_BITS, MacScheme, MicroMacScheme
+from repro.crypto.pebbled import KeyChainLike, make_key_chain
 from repro.crypto.onewayfn import OneWayFunction
 from repro.errors import ConfigurationError, KeyVerificationError
 from repro.protocols.base import (
@@ -93,7 +95,10 @@ class TwoPhaseSender(BroadcastSender):
             raise ConfigurationError(
                 f"announce_copies must be >= 1, got {announce_copies}"
             )
-        self._chain = KeyChain(seed, chain_length, function)
+        # make_key_chain picks pebbled storage for long soak chains and
+        # the dense reference chain for scenario-sized ones; the keys
+        # are bit-identical either way.
+        self._chain = make_key_chain(seed, chain_length, function)
         self._delay = disclosure_delay
         self._per_interval = packets_per_interval
         self._announce_copies = announce_copies
@@ -101,7 +106,7 @@ class TwoPhaseSender(BroadcastSender):
         self._mac = mac_scheme or MacScheme()
 
     @property
-    def chain(self) -> KeyChain:
+    def chain(self) -> KeyChainLike:
         """The sender's key chain."""
         return self._chain
 
@@ -190,7 +195,10 @@ class TwoPhaseReceiverCore:
         # index must not be able to spend the receiver's CPU (a
         # computational-DoS vector orthogonal to the memory one).
         self._authenticator = KeyChainAuthenticator(
-            commitment, function, max_gap=max_key_gap
+            commitment,
+            function,
+            max_gap=max_key_gap,
+            walk_cache=ChainWalkCache(function),
         )
         self._condition = condition
         self._mac = mac_scheme

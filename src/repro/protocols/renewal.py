@@ -24,7 +24,7 @@ import dataclasses
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.crypto.keychain import KeyChain
+from repro.crypto.pebbled import KeyChainLike, make_key_chain
 from repro.crypto.mac import MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction
 from repro.errors import ConfigurationError
@@ -127,7 +127,7 @@ class RenewingDapSender(BroadcastSender):
         self._mac = mac_scheme or MacScheme()
         self._function = function or OneWayFunction("F")
         self._chains = [
-            KeyChain(seed, epoch_length, self._function, label=f"epoch-{e}")
+            make_key_chain(seed, epoch_length, self._function, label=f"epoch-{e}")
             for e in range(epochs)
         ]
 
@@ -151,7 +151,7 @@ class RenewingDapSender(BroadcastSender):
         """Global intervals covered by all epochs."""
         return self._epoch_length * self._epochs
 
-    def chain(self, epoch: int) -> KeyChain:
+    def chain(self, epoch: int) -> KeyChainLike:
         """The chain of one epoch (bootstrap/tests)."""
         if not 0 <= epoch < self._epochs:
             raise ConfigurationError(f"epoch {epoch} outside 0..{self._epochs - 1}")

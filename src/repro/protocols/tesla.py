@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.crypto.keychain import KeyChain
+from repro.crypto.pebbled import KeyChainLike, make_key_chain
 from repro.crypto.mac import MacScheme
 from repro.crypto.onewayfn import OneWayFunction
 from repro.errors import ConfigurationError
@@ -61,14 +61,14 @@ class TeslaSender(BroadcastSender):
             raise ConfigurationError(
                 f"packets_per_interval must be >= 1, got {packets_per_interval}"
             )
-        self._chain = KeyChain(seed, chain_length, function)
+        self._chain = make_key_chain(seed, chain_length, function)
         self._delay = disclosure_delay
         self._per_interval = packets_per_interval
         self._message_for = message_for or default_message
         self._mac = mac_scheme or MacScheme()
 
     @property
-    def chain(self) -> KeyChain:
+    def chain(self) -> KeyChainLike:
         """The sender's key chain (exposed for tests and bootstrap)."""
         return self._chain
 

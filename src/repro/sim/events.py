@@ -12,6 +12,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import perf
 from repro.errors import ConfigurationError, SchedulingError
 from repro.timesync.clock import SimClock
 
@@ -139,6 +140,10 @@ class Simulator:
             handle.action()
             processed += 1
             self._processed += 1
+            active = perf.ACTIVE
+            if active is not None:
+                active.incr("sim.events")
+                active.observe("sim.queue_depth", len(self._queue))
         if until is not None and self.now < until and (
             not self._queue or self._queue[0].time > until
         ):

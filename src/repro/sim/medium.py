@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro import perf
 from repro.errors import ConfigurationError
 from repro.protocols.packets import LEGITIMATE
 from repro.sim.channel import BernoulliLoss, LossProcess
@@ -163,6 +164,7 @@ class BroadcastMedium:
         for tap in self._taps:
             tap(packet, self._simulator.now)
         scheduled = 0
+        drops_before = self._drops
         for attachment in self._attachments:
             if exclude is not None and attachment.name == exclude:
                 continue
@@ -181,4 +183,9 @@ class BroadcastMedium:
             )
             self._deliveries += 1
             scheduled += 1
+        active = perf.ACTIVE
+        if active is not None:
+            active.incr("sim.broadcasts")
+            active.incr("sim.deliveries", scheduled)
+            active.incr("sim.drops", self._drops - drops_before)
         return scheduled

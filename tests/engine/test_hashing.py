@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -82,6 +85,62 @@ class TestNumpy:
         a = np.arange(6)
         assert stable_key(a) != stable_key(a.astype(float))
         assert stable_key(a) != stable_key(a.reshape(2, 3))
+
+    def test_byteorder_does_not_alias(self):
+        """'>f8' and '<f8' arrays with equal values must share a key —
+        tobytes() differs between them, so without normalisation the
+        same logical array would content-address differently."""
+        little = np.array([1.5, -2.25, 3.0], dtype="<f8")
+        big = little.astype(">f8")
+        assert stable_key(little) == stable_key(big)
+        assert stable_key(little) == stable_key(np.array([1.5, -2.25, 3.0]))
+        ints = np.array([1, 2, 3], dtype="<i4")
+        assert stable_key(ints) == stable_key(ints.astype(">i4"))
+
+    def test_byteorder_normalisation_preserves_dtype_distinction(self):
+        a = np.array([1, 2], dtype=">i4")
+        b = np.array([1, 2], dtype=">i8")
+        assert stable_key(a) != stable_key(b)
+
+
+class TestCrossProcessStability:
+    """The regression the cache actually depends on: keys computed in a
+    freshly spawned interpreter (new hash salt, new dict seeds, numpy
+    re-imported) must equal keys computed here."""
+
+    def test_golden_vectors(self):
+        # Frozen digests: these must never change without a
+        # CODE_VERSION bump, or on-disk caches silently go stale.
+        assert stable_key(None) == (
+            "74edfa54f5f0353949a6de0f25f840cd83c3de5da1154cbbcd62982ec71d597e"
+        )
+        assert stable_key((1, "a", 2.5)) == (
+            "070867862ab822fbed5a79ecd3d32570cbbdd48ea279870c045903ab4457d7e5"
+        )
+        assert stable_key({"b": 2, "a": 1}) == (
+            "34fbe8626f5ef94f13e111e5d6f0d7039c32cd775b685811bb803ea351ec6a2a"
+        )
+
+    def test_spawned_interpreter_agrees(self):
+        value_src = (
+            "{'config': [(0.1, 2), (0.2, 3)], 'tags': {'b', 'a'},"
+            " 'arr': np.arange(4, dtype='<f8'), 'p': -0.0, 'n': 10**40}"
+        )
+        import numpy as np  # noqa: F401 - mirrors the subprocess import
+
+        local = stable_key(eval(value_src))
+        script = (
+            "import numpy as np\n"
+            "from repro.engine.hashing import stable_key\n"
+            f"print(stable_key({value_src}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == local
 
 
 class TestDataclasses:

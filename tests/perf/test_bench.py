@@ -1,0 +1,74 @@
+"""The bench runner: document schema, tripwires, JSON output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.bench import (
+    BENCH_PRESETS,
+    SCENARIO_PRESETS,
+    run_bench,
+    write_bench_json,
+)
+
+
+class TestPresets:
+    def test_fig5_preset_matches_the_paper_operating_point(self):
+        fig5 = SCENARIO_PRESETS["fig5"]
+        assert fig5.protocol == "dap"
+        assert fig5.attack_fraction == 0.5
+        assert fig5.loss_probability == 0.1
+
+    def test_every_bench_preset_names_a_scenario(self):
+        for sizes in BENCH_PRESETS.values():
+            assert sizes["scenario"] in SCENARIO_PRESETS
+
+    def test_rejects_unknown_preset_and_bad_repeat(self):
+        with pytest.raises(ConfigurationError):
+            run_bench("no-such-preset")
+        with pytest.raises(ConfigurationError):
+            run_bench("smoke", repeat=0)
+
+
+@pytest.fixture(scope="module")
+def smoke_document():
+    return run_bench("smoke", repeat=1)
+
+
+class TestRunBench:
+    def test_document_schema(self, smoke_document):
+        assert smoke_document["preset"] == "smoke"
+        results = smoke_document["results"]
+        assert set(results) == {
+            "one_way", "keychain_walks", "mac_verify", "pebbled", "scenario"
+        }
+        for section in ("one_way", "keychain_walks", "mac_verify"):
+            assert results[section]["naive_ops_per_sec"] > 0
+            assert results[section]["kernel_ops_per_sec"] > 0
+            assert results[section]["speedup"] > 0
+
+    def test_keychain_walks_meet_the_acceptance_bar(self, smoke_document):
+        """The checked-in artifact claims >= 2x on the keychain
+        micro-bench (midstate + walk cache vs naive, same run)."""
+        assert smoke_document["results"]["keychain_walks"]["speedup"] >= 2.0
+
+    def test_scenario_counters_nonzero(self, smoke_document):
+        counters = smoke_document["results"]["scenario"]["counters"]
+        assert counters["crypto.hash"] > 0
+        assert counters["crypto.mac"] > 0
+        assert smoke_document["results"]["scenario"]["identical_summaries"]
+
+    def test_pebbled_section_reports_the_memory_story(self, smoke_document):
+        pebbled = smoke_document["results"]["pebbled"]
+        assert pebbled["peak_stored_keys"] <= pebbled["peak_bound"]
+        assert pebbled["peak_stored_keys"] < pebbled["dense_stored_keys"] // 100
+
+    def test_write_bench_json(self, smoke_document, tmp_path):
+        path = tmp_path / "BENCH_crypto.json"
+        write_bench_json(path, smoke_document)
+        loaded = json.loads(path.read_text())
+        assert loaded["preset"] == "smoke"
+        assert path.read_text().endswith("\n")

@@ -1,0 +1,68 @@
+"""Kernels on/off must be bit-identical end to end.
+
+The whole point of the midstate/walk-cache/pebbling layer is that it is
+*exact*: same commitment, same keys, same MACs, same simulation
+outcomes. These tests run the seeded scenario pipeline both ways and
+compare frozen summaries — if a kernel ever drifts from its reference
+path, this is the test that goes red.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf
+from repro.crypto.kernels import kernels_disabled
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+CONFIGS = [
+    ScenarioConfig(protocol="dap", intervals=12, receivers=3, buffers=4,
+                   attack_fraction=0.5, loss_probability=0.1, seed=7),
+    ScenarioConfig(protocol="tesla_pp", intervals=10, receivers=2, buffers=3,
+                   attack_fraction=0.3, seed=11),
+    ScenarioConfig(protocol="tesla", intervals=10, receivers=2, buffers=4,
+                   loss_probability=0.2, seed=3),
+]
+
+
+@pytest.mark.parametrize(
+    "config", CONFIGS, ids=[config.protocol for config in CONFIGS]
+)
+def test_scenario_identical_with_kernels_on_and_off(config):
+    with_kernels = run_scenario(config)
+    with kernels_disabled():
+        naive = run_scenario(config)
+    assert with_kernels.fleet == naive.fleet
+    assert with_kernels.sent_authentic == naive.sent_authentic
+    assert with_kernels.forged_bandwidth_fraction == pytest.approx(
+        naive.forged_bandwidth_fraction
+    )
+
+
+def test_scenario_identical_with_instrumentation_on():
+    config = CONFIGS[0]
+    bare = run_scenario(config)
+    with perf.collecting() as registry:
+        instrumented = run_scenario(config)
+    assert instrumented.fleet == bare.fleet
+    # ... and the run actually counted the hot path.
+    assert registry.counter("crypto.hash") > 0
+    assert registry.counter("crypto.mac") > 0
+    assert registry.counter("sim.events") > 0
+    assert registry.counter("sim.broadcasts") > 0
+
+
+def test_instrumented_counters_are_consistent():
+    config = CONFIGS[0]
+    with perf.collecting() as registry:
+        run_scenario(config)
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    # Deliveries + drops can't exceed broadcasts x receivers.
+    assert counters["sim.deliveries"] <= counters["sim.broadcasts"] * (
+        config.receivers + 1
+    )
+    # Queue depth was observed once per executed event.
+    assert snapshot["observations"]["sim.queue_depth"]["count"] == counters[
+        "sim.events"
+    ]

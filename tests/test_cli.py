@@ -261,3 +261,89 @@ class TestServeAttackParsing:
             "--duration", "0.25", "--interval-duration", "0.5",
         ]) == 0
         assert "injected 10 forged announcements" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_emits_json_report_with_nonzero_counters(self, capsys):
+        import json
+
+        assert main(["profile", "--preset", "fig5", "--top", "5"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counters"]["crypto.hash"] > 0
+        assert report["counters"]["crypto.mac"] > 0
+        assert report["counters"]["sim.events"] > 0
+        assert report["label"].startswith("scenario:fig5")
+        assert len(report["hotspots"]) <= 5
+
+    def test_writes_report_to_out(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "perf" / "report.json"
+        assert main(["profile", "--preset", "smoke", "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["counters"]["crypto.hash"] > 0
+
+    def test_repeat_scales_counters(self, capsys):
+        import json
+
+        assert main(["profile", "--preset", "smoke"]) == 0
+        once = json.loads(capsys.readouterr().out)["counters"]["crypto.hash"]
+        assert main(["profile", "--preset", "smoke", "--repeat", "2"]) == 0
+        twice = json.loads(capsys.readouterr().out)["counters"]["crypto.hash"]
+        assert twice == 2 * once
+
+    def test_rejects_bad_inputs_at_parse_time(self, capsys):
+        for argv in (
+            ["profile", "--repeat", "0"],
+            ["profile", "--repeat", "-2"],
+            ["profile", "--top", "0"],
+            ["profile", "--interval-duration", "-1.0"],
+            ["profile", "--interval-duration", "0"],
+            ["profile", "--interval-duration", "nope"],
+            ["profile", "--preset", "no-such-preset"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            capsys.readouterr()
+
+
+class TestBench:
+    def test_writes_json_and_summary(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_crypto.json"
+        assert main(
+            ["bench", "--json", str(path), "--preset", "smoke", "--repeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "keychain flood walks" in out
+        assert f"wrote {path}" in out
+        document = json.loads(path.read_text())
+        assert document["results"]["keychain_walks"]["speedup"] >= 2.0
+        assert document["results"]["scenario"]["counters"]["crypto.hash"] > 0
+
+    def test_rejects_bad_inputs_at_parse_time(self, capsys):
+        for argv in (
+            ["bench", "--repeat", "0"],
+            ["bench", "--repeat", "1.5"],
+            ["bench", "--preset", "huge"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2, argv
+            capsys.readouterr()
+
+
+class TestDurationValidation:
+    def test_loadtest_rejects_nonpositive_interval_duration(self, capsys):
+        for bad in ("0", "-0.5", "inf"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["loadtest", "--interval-duration", bad])
+            assert excinfo.value.code == 2, bad
+            capsys.readouterr()
+
+    def test_attack_rejects_negative_duration(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["attack", "--port", "45998", "--duration", "-1"])
+        assert excinfo.value.code == 2
+        assert "positive finite" in capsys.readouterr().err
