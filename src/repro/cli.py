@@ -13,7 +13,7 @@ Subcommands::
     repro serve       stand up a live UDP deployment on localhost
     repro attack      flood a testbed deployment with forgeries
     repro profile     cProfile + perf counters over a scenario preset
-    repro bench       crypto/scenario bench suite -> BENCH_crypto.json
+    repro bench       crypto or sim bench suite -> BENCH_<suite>.json
 
 Every subcommand is a thin shim over the library — anything printed
 here is available programmatically (see README).
@@ -175,6 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--receivers", type=int, default=5)
     simulate.add_argument("--loss", type=float, default=0.0)
     simulate.add_argument("--seeds", type=int, default=5, help="repetitions")
+    simulate.add_argument(
+        "--engine",
+        choices=("des", "vectorized"),
+        default="des",
+        help="scenario engine: event-driven simulation, or the array"
+        " fleet engine (bit-identical for dap/tesla_pp, ~20x faster;"
+        " other protocols fall back to des)",
+    )
     _add_engine_flags(simulate)
 
     figures = sub.add_parser("figures", help="regenerate Fig. 5-8 data")
@@ -241,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--duplicate", type=float, default=0.0)
     loadtest.add_argument("--reorder", type=float, default=0.0)
     loadtest.add_argument("--seed", type=int, default=7)
+    loadtest.add_argument(
+        "--engine",
+        choices=("des", "vectorized"),
+        default="des",
+        help="des: drive the live daemons; vectorized: predict the same"
+        " per-node tallies through the array scenario engine (loopback"
+        " only, no proxy-only faults)",
+    )
     _add_engine_flags(loadtest)
 
     serve = sub.add_parser("serve", help="stand up a live UDP deployment")
@@ -298,11 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the crypto/scenario bench suite, write JSON"
     )
     bench.add_argument(
+        "--suite",
+        choices=("crypto", "sim"),
+        default="crypto",
+        help="crypto: kernel-vs-naive sections; sim: vectorized fleet"
+        " engine vs the DES on fig5-style sweeps",
+    )
+    bench.add_argument(
         "--json",
         dest="json_path",
         type=Path,
-        default=Path("BENCH_crypto.json"),
-        help="output path for the bench document",
+        default=None,
+        help="output path for the bench document"
+        " (default: BENCH_<suite>.json)",
     )
     bench.add_argument(
         "--preset",
@@ -380,6 +404,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         buffers=args.buffers,
         attack_fraction=args.p,
         loss_probability=args.loss,
+        engine=args.engine,
     )
     executor, cache = _engine(args)
     outcome = run_repeated(
@@ -561,6 +586,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         duplicate_probability=args.duplicate,
         reorder_probability=args.reorder,
         seed=args.seed,
+        engine=args.engine,
     )
     executor, _ = _engine(args)
     report = run_loadtest(config, executor=executor)
@@ -663,10 +689,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_bench, write_bench_json
+    from repro.perf.bench import run_bench, run_sim_bench, write_bench_json
 
+    json_path = args.json_path or Path(f"BENCH_{args.suite}.json")
+    if args.suite == "sim":
+        document = run_sim_bench(preset=args.preset, repeat=args.repeat)
+        write_bench_json(json_path, document)
+        for name, section in sorted(document["results"].items()):
+            print(
+                f"{name:<30}: {section['speedup']:.2f}x"
+                f" (des {section['des_wall_seconds']}s,"
+                f" vectorized {section['vectorized_wall_seconds']}s)"
+            )
+        print(f"wrote {json_path}")
+        return 0
     document = run_bench(preset=args.preset, repeat=args.repeat)
-    write_bench_json(args.json_path, document)
+    write_bench_json(json_path, document)
     results = document["results"]
     rows = [
         ("one-way (midstate vs naive)", results["one_way"]["speedup"]),
@@ -681,7 +719,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{'pebbled chain storage':<30}: {pebbled['peak_stored_keys']} peak keys"
         f" (bound {pebbled['peak_bound']}, dense {pebbled['dense_stored_keys']})"
     )
-    print(f"wrote {args.json_path}")
+    print(f"wrote {json_path}")
     return 0
 
 

@@ -14,6 +14,14 @@ order and per-task failures are isolated into
   are **bit-identical** to serial execution — the equivalence suite in
   ``tests/engine`` pins that guarantee.
 
+The process pool is **warm**: it is created lazily on the first
+parallel :meth:`~ParallelExecutor.run` and reused across subsequent
+calls, so a sweep driver paying the spawn + import cost once can fan
+out many specs without re-forking workers each time. Workers
+pre-import :mod:`repro` in their initializer so the first task does
+not eat the import latency either. Use the executor as a context
+manager (or call :meth:`~ParallelExecutor.close`) to release the pool.
+
 Workers and payloads must be picklable for the parallel path; that is
 the only seam the engine imposes on the layers above it.
 """
@@ -21,13 +29,22 @@ the only seam the engine imposes on the layers above it.
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
 import os
+import sys
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, List, Optional
 
 from repro.errors import ConfigurationError, TaskError
 from repro.engine.spec import ExperimentSpec
 
 __all__ = ["Executor", "SerialExecutor", "ParallelExecutor", "executor_for"]
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the package so the first task a
+    worker receives pays no import latency."""
+    import repro  # noqa: F401
 
 
 class Executor:
@@ -65,7 +82,15 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Process-pool execution across ``jobs`` cores.
+    """Warm process-pool execution across ``jobs`` cores.
+
+    The pool is created lazily on the first parallel :meth:`run` and
+    **reused across calls**: a driver running many specs pays worker
+    spawn + ``import repro`` once, not per sweep. Each worker
+    pre-imports the package in its initializer. A task failure raises
+    :class:`~repro.errors.TaskError` but leaves the pool warm; only a
+    broken pool (a worker died mid-task) is torn down and rebuilt on
+    the next call.
 
     Args:
         jobs: worker processes (>= 1). ``jobs=1`` still goes through a
@@ -73,36 +98,89 @@ class ParallelExecutor(Executor):
             :func:`executor_for` maps 1 to :class:`SerialExecutor`.
         chunksize: tasks handed to a worker per dispatch; raise it for
             very cheap tasks to amortise IPC.
+        maxtasksperchild: recycle each worker after this many tasks
+            (guards against slow memory growth in week-long sweeps).
+            Requires Python >= 3.11; workers are then spawned rather
+            than forked, per the stdlib's constraint.
     """
 
-    def __init__(self, jobs: Optional[int] = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunksize: int = 1,
+        maxtasksperchild: Optional[int] = None,
+    ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         if chunksize < 1:
             raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        if maxtasksperchild is not None:
+            if maxtasksperchild < 1:
+                raise ConfigurationError(
+                    f"maxtasksperchild must be >= 1, got {maxtasksperchild}"
+                )
+            if sys.version_info < (3, 11):
+                raise ConfigurationError(
+                    "maxtasksperchild requires Python >= 3.11"
+                )
         self.jobs = jobs
         self._chunksize = chunksize
+        self._maxtasksperchild = maxtasksperchild
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            kwargs: dict = {
+                "max_workers": self.jobs,
+                "initializer": _warm_worker,
+            }
+            if self._maxtasksperchild is not None:
+                # The stdlib only supports worker recycling with spawn
+                # or forkserver start methods.
+                kwargs["max_tasks_per_child"] = self._maxtasksperchild
+                kwargs["mp_context"] = multiprocessing.get_context("spawn")
+            self._pool = concurrent.futures.ProcessPoolExecutor(**kwargs)
+        return self._pool
 
     def run(self, spec: ExperimentSpec) -> List[Any]:
-        # No pool for a single task: the fork/pickle round trip would
-        # only add latency without any overlap to exploit.
+        # No pool for a single task: the pickle round trip would only
+        # add latency without any overlap to exploit.
         if len(spec) == 1 or self.jobs == 1:
             return SerialExecutor().run(spec)
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(spec))
-        ) as pool:
+        pool = self._ensure_pool()
+        try:
             futures = [pool.submit(spec.fn, task) for task in spec.tasks]
-            results: List[Any] = []
-            for index, future in enumerate(futures):
-                try:
-                    results.append(future.result())
-                except Exception as exc:
-                    for pending in futures[index + 1:]:
-                        pending.cancel()
-                    raise self._task_error(spec, index, exc) from exc
+        except BrokenProcessPool as exc:
+            self.close()
+            raise self._task_error(spec, 0, exc) from exc
+        results: List[Any] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BrokenProcessPool as exc:
+                # A worker died (OOM, signal). The pool is unusable;
+                # discard it so the next run() starts fresh.
+                self.close()
+                raise self._task_error(spec, index, exc) from exc
+            except Exception as exc:
+                for pending in futures[index + 1:]:
+                    pending.cancel()
+                raise self._task_error(spec, index, exc) from exc
         return results
+
+    def close(self) -> None:
+        """Shut the warm pool down; the next :meth:`run` recreates it."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"

@@ -291,6 +291,14 @@ class LoadTestConfig:
         loss_probability / loss_mean_burst / delay / jitter /
         duplicate_probability / reorder_probability: proxy fault knobs.
         seed: master seed; shard ``s`` runs at ``seed + s``.
+        engine: ``"des"`` runs each shard as a real loopback soak;
+            ``"vectorized"`` predicts the same per-node outcome tallies
+            through the array scenario engine (:mod:`repro.sim.fleet`)
+            instead of driving daemons — orders of magnitude faster,
+            but transport-level counters (datagrams, latencies) read
+            zero. Only valid on the loopback transport with the faults
+            the in-memory medium models (no jitter / duplication /
+            reordering / rate-based floods).
     """
 
     transport: str = "loopback"
@@ -315,6 +323,7 @@ class LoadTestConfig:
     max_offset: float = 0.01
     seed: int = 7
     udp_host: str = "127.0.0.1"
+    engine: str = "des"
 
     def __post_init__(self) -> None:
         if self.transport not in ("loopback", "udp"):
@@ -338,6 +347,30 @@ class LoadTestConfig:
             )
         if self.transport == "udp" and self.shards != 1:
             raise ConfigurationError("udp transport runs a single shard")
+        if self.engine not in ("des", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'des' or 'vectorized', got {self.engine!r}"
+            )
+        if self.engine == "vectorized":
+            if self.transport != "loopback":
+                raise ConfigurationError(
+                    "the vectorized engine only predicts loopback soaks"
+                )
+            if self.attack_rate > 0:
+                raise ConfigurationError(
+                    "the vectorized engine models the paper's per-interval"
+                    " burst flood, not rate-based floods; drop --rate or"
+                    " use the des engine"
+                )
+            if (
+                self.jitter > 0
+                or self.duplicate_probability > 0
+                or self.reorder_probability > 0
+            ):
+                raise ConfigurationError(
+                    "jitter/duplication/reordering are proxy-only faults"
+                    " the vectorized engine cannot model; use the des engine"
+                )
 
     def scenario_for_shard(self, shard: int) -> ScenarioConfig:
         """The :class:`ScenarioConfig` for shard ``shard``."""
@@ -359,6 +392,7 @@ class LoadTestConfig:
             max_offset=self.max_offset,
             attack_burst_fraction=self.attack_burst_fraction,
             seed=self.seed + shard,
+            engine=self.engine,
         )
 
     def proxy_config(self) -> ProxyConfig:
@@ -415,11 +449,42 @@ class LoadTestReport:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
 
+def _scenario_soak(scenario: ScenarioConfig) -> SoakResult:
+    """Predict a loopback soak through the scenario engine.
+
+    Loopback soaks at default faults mirror :func:`run_scenario`
+    exactly, so the per-node outcome tallies here are the ones the
+    daemons would have produced — at array-engine speed. Transport
+    artifacts (latencies, datagram counters) have no in-memory
+    equivalent and read zero.
+    """
+    from repro.sim.scenario import run_scenario
+
+    started = time.perf_counter()
+    result = run_scenario(scenario)
+    return SoakResult(
+        fleet=result.fleet,
+        sent_authentic=result.sent_authentic,
+        latencies=(),
+        datagrams_delivered=0,
+        datagrams_dropped=0,
+        datagrams_duplicated=0,
+        datagrams_reordered=0,
+        malformed=0,
+        packets_injected=0,
+        simulated_seconds=result.simulated_seconds,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
 def _run_loadtest_shard(task: Tuple[LoadTestConfig, int]) -> SoakResult:
     """Engine worker: one shard's soak (module-level, picklable)."""
     config, shard = task
+    scenario = config.scenario_for_shard(shard)
+    if config.engine == "vectorized":
+        return _scenario_soak(scenario)
     return run_loopback_soak(
-        config.scenario_for_shard(shard),
+        scenario,
         proxy_config=config.proxy_config(),
         attack_rate=config.attack_rate if config.attack_rate > 0 else None,
     )

@@ -26,10 +26,18 @@ Sections:
     A full seeded :func:`~repro.sim.scenario.run_scenario` under
     :func:`repro.perf.collecting`, kernels on vs off, with the counter
     deltas that prove the run exercised the crypto hot path.
+
+A second suite, :func:`run_sim_bench` (``repro bench --suite sim``,
+``BENCH_sim.json``), measures the vectorized fleet engine
+(:mod:`repro.sim.fleet`) against the event-driven simulator on
+fig5-style fleets and asserts the two produced identical summaries —
+the artifact's speedup claim is only meaningful because equality is
+checked in the same run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
@@ -48,7 +56,9 @@ from repro.sim.scenario import ScenarioConfig, run_scenario
 __all__ = [
     "BENCH_PRESETS",
     "SCENARIO_PRESETS",
+    "SIM_BENCH_PRESETS",
     "run_bench",
+    "run_sim_bench",
     "write_bench_json",
 ]
 
@@ -96,6 +106,52 @@ BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
         "mac_rounds": 200,
         "pebbled_length": 65536,
         "scenario": "fig5",
+    },
+}
+
+
+#: Sim-suite presets: fig5-style fleets (DAP's Fig. 5 operating point
+#: scaled up to crowd-sized fleets) for both fast-path protocols.
+SIM_BENCH_PRESETS: Dict[str, Dict[str, ScenarioConfig]] = {
+    "smoke": {
+        "fleet_dap": ScenarioConfig(
+            protocol="dap",
+            intervals=20,
+            receivers=50,
+            buffers=4,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=7,
+        ),
+        "fleet_tesla_pp": ScenarioConfig(
+            protocol="tesla_pp",
+            intervals=20,
+            receivers=50,
+            buffers=4,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=7,
+        ),
+    },
+    "full": {
+        "fleet_dap": ScenarioConfig(
+            protocol="dap",
+            intervals=40,
+            receivers=100,
+            buffers=4,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=7,
+        ),
+        "fleet_tesla_pp": ScenarioConfig(
+            protocol="tesla_pp",
+            intervals=40,
+            receivers=100,
+            buffers=4,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=7,
+        ),
     },
 }
 
@@ -306,6 +362,79 @@ def run_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
             " perf counters are unwired from the crypto hot path"
         )
     return {
+        "preset": preset,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def _bench_fleet(config: ScenarioConfig, repeat: int) -> Dict[str, Any]:
+    """One sim-suite section: DES vs vectorized on the same config.
+
+    Both engines run ``repeat`` times (best-of walls) and every
+    vectorized result is compared against the DES reference — a single
+    divergence fails the bench, so ``identical_summaries`` in the
+    artifact is a checked fact, not an assumption.
+    """
+    des_config = dataclasses.replace(config, engine="des")
+    vec_config = dataclasses.replace(config, engine="vectorized")
+
+    des_wall = float("inf")
+    vec_wall = float("inf")
+    des_result = vec_result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        des_result = run_scenario(des_config)
+        des_wall = min(des_wall, time.perf_counter() - started)
+        started = time.perf_counter()
+        vec_result = run_scenario(vec_config)
+        vec_wall = min(vec_wall, time.perf_counter() - started)
+        if (
+            des_result.fleet != vec_result.fleet
+            or des_result.sent_authentic != vec_result.sent_authentic
+            or des_result.forged_bandwidth_fraction
+            != vec_result.forged_bandwidth_fraction
+            or des_result.simulated_seconds != vec_result.simulated_seconds
+        ):
+            raise ReproError(
+                "vectorized fleet engine diverged from the DES on"
+                f" {config.protocol}: the engines are not bit-identical"
+            )
+    return {
+        "protocol": config.protocol,
+        "receivers": config.receivers,
+        "intervals": config.intervals,
+        "attack_fraction": config.attack_fraction,
+        "loss_probability": config.loss_probability,
+        "des_wall_seconds": round(des_wall, 4),
+        "vectorized_wall_seconds": round(vec_wall, 4),
+        "speedup": round(des_wall / vec_wall, 3) if vec_wall else 0.0,
+        "identical_summaries": True,
+    }
+
+
+def run_sim_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
+    """Run the sim suite: vectorized fleet engine vs the DES.
+
+    Raises:
+        ConfigurationError: for unknown presets or non-positive repeat.
+        ReproError: if any vectorized run diverges from its DES
+            reference (the parity tripwire).
+    """
+    if preset not in SIM_BENCH_PRESETS:
+        raise ConfigurationError(
+            f"unknown bench preset {preset!r};"
+            f" choose from {sorted(SIM_BENCH_PRESETS)}"
+        )
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    results = {
+        name: _bench_fleet(config, repeat)
+        for name, config in sorted(SIM_BENCH_PRESETS[preset].items())
+    }
+    return {
+        "suite": "sim",
         "preset": preset,
         "repeat": repeat,
         "python": platform.python_version(),

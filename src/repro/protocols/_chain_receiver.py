@@ -43,6 +43,8 @@ class ChainReceiverCore:
         max_intervals: bound on simultaneously buffered intervals.
         stats: the owning receiver's stats object (shared).
         rng: RNG for the reservoir strategy.
+        walk_cache: optional shared back-walk memo (must wrap
+            ``function``); defaults to a private per-receiver cache.
     """
 
     def __init__(
@@ -57,6 +59,7 @@ class ChainReceiverCore:
         stats: ReceiverStats,
         rng: Optional[random.Random] = None,
         max_key_gap: int = 4096,
+        walk_cache: Optional[ChainWalkCache] = None,
     ) -> None:
         if buffer_capacity <= 0:
             raise ConfigurationError(
@@ -66,12 +69,14 @@ class ChainReceiverCore:
         # (computational-DoS hardening; see the adversarial test suite).
         # The walk cache dedupes repeated back-walks — a flooding
         # attacker replaying one forged disclosure pays the receiver a
-        # dict lookup, not a fresh O(gap) walk.
+        # dict lookup, not a fresh O(gap) walk. A fleet may share one
+        # cache across receivers: identical forged disclosures then
+        # cross-hit instead of re-walking per node.
         self._authenticator = KeyChainAuthenticator(
             commitment,
             function,
             max_gap=max_key_gap,
-            walk_cache=ChainWalkCache(function),
+            walk_cache=walk_cache if walk_cache is not None else ChainWalkCache(function),
         )
         self._condition = condition
         self._mac = mac_scheme

@@ -169,6 +169,8 @@ class TwoPhaseReceiverCore:
         max_intervals: bound on simultaneously buffered intervals.
         stats: owning receiver's counters.
         rng: RNG for the reservoir rule.
+        walk_cache: optional shared back-walk memo (must wrap
+            ``function``); defaults to a private per-receiver cache.
     """
 
     def __init__(
@@ -185,6 +187,7 @@ class TwoPhaseReceiverCore:
         stats: ReceiverStats,
         rng: Optional[random.Random] = None,
         max_key_gap: int = 4096,
+        walk_cache: Optional[ChainWalkCache] = None,
     ) -> None:
         if buffers <= 0:
             raise ConfigurationError(f"buffers must be positive, got {buffers}")
@@ -194,11 +197,13 @@ class TwoPhaseReceiverCore:
         # forged disclosure can burn — an attacker submitting a huge
         # index must not be able to spend the receiver's CPU (a
         # computational-DoS vector orthogonal to the memory one).
+        # ``walk_cache`` may be shared across a fleet (all receivers
+        # back-walk the same disclosed keys); it must wrap ``function``.
         self._authenticator = KeyChainAuthenticator(
             commitment,
             function,
             max_gap=max_key_gap,
-            walk_cache=ChainWalkCache(function),
+            walk_cache=walk_cache if walk_cache is not None else ChainWalkCache(function),
         )
         self._condition = condition
         self._mac = mac_scheme

@@ -28,6 +28,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional
 
+from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.mac import MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction
 from repro.protocols._two_phase import (
@@ -96,6 +97,7 @@ class DapReceiver(BroadcastReceiver):
         mac_scheme: Optional[MacScheme] = None,
         max_intervals: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        walk_cache: Optional[ChainWalkCache] = None,
     ) -> None:
         super().__init__()
         self._core = TwoPhaseReceiverCore(
@@ -110,6 +112,7 @@ class DapReceiver(BroadcastReceiver):
             max_intervals=max_intervals,
             stats=self._stats,
             rng=rng,
+            walk_cache=walk_cache,
         )
 
     @property

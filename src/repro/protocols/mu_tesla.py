@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.pebbled import KeyChainLike, make_key_chain
 from repro.crypto.mac import MacScheme
 from repro.crypto.onewayfn import OneWayFunction
@@ -129,6 +130,7 @@ class MuTeslaReceiver(BroadcastReceiver):
         buffer_strategy: str = "keep_first",
         max_intervals: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        walk_cache: Optional[ChainWalkCache] = None,
     ) -> None:
         super().__init__()
         self._core = ChainReceiverCore(
@@ -141,6 +143,7 @@ class MuTeslaReceiver(BroadcastReceiver):
             max_intervals=max_intervals,
             stats=self._stats,
             rng=rng,
+            walk_cache=walk_cache,
         )
 
     @property

@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Optional
 
+from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.mac import INDEX_BITS, MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction
 from repro.protocols._two_phase import (
@@ -78,6 +79,7 @@ class TeslaPlusPlusReceiver(BroadcastReceiver):
         mac_scheme: Optional[MacScheme] = None,
         max_intervals: Optional[int] = None,
         rng: Optional[random.Random] = None,
+        walk_cache: Optional[ChainWalkCache] = None,
     ) -> None:
         super().__init__()
         self._rehash_bits = rehash_bits
@@ -93,6 +95,7 @@ class TeslaPlusPlusReceiver(BroadcastReceiver):
             max_intervals=max_intervals,
             stats=self._stats,
             rng=rng,
+            walk_cache=walk_cache,
         )
 
     @property

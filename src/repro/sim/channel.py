@@ -24,9 +24,17 @@ import math
 import random
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
-__all__ = ["LossProcess", "BernoulliLoss", "GilbertElliottLoss"]
+__all__ = [
+    "LossProcess",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "bernoulli_drop_mask",
+    "gilbert_elliott_drop_mask",
+]
 
 
 class LossProcess(ABC):
@@ -134,6 +142,22 @@ class GilbertElliottLoss(LossProcess):
         """Whether the channel is currently in the BAD state."""
         return self._bad
 
+    @property
+    def p_good_to_bad(self) -> float:
+        return self._g2b
+
+    @property
+    def p_bad_to_good(self) -> float:
+        return self._b2g
+
+    @property
+    def loss_good(self) -> float:
+        return self._loss_good
+
+    @property
+    def loss_bad(self) -> float:
+        return self._loss_bad
+
     def stationary_bad_share(self) -> float:
         """Long-run fraction of time spent in the BAD state."""
         total = self._g2b + self._b2g
@@ -155,3 +179,52 @@ class GilbertElliottLoss(LossProcess):
                 self._bad = True
         loss = self._loss_bad if self._bad else self._loss_good
         return rng.random() < loss
+
+
+def bernoulli_drop_mask(uniforms: np.ndarray, probability: float) -> np.ndarray:
+    """Vectorized :meth:`BernoulliLoss.should_drop` over a uniform array.
+
+    ``uniforms`` holds one pre-drawn ``rng.random()`` value per decision
+    (the scalar path draws one even at ``probability == 0``); any shape
+    is accepted and preserved.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(
+            f"probability must be in [0, 1], got {probability}"
+        )
+    return np.asarray(uniforms, dtype=np.float64) < probability
+
+
+def gilbert_elliott_drop_mask(
+    uniforms: np.ndarray,
+    p_good_to_bad: float,
+    p_bad_to_good: float,
+    loss_good: float = 0.0,
+    loss_bad: float = 1.0,
+) -> np.ndarray:
+    """Vectorized Gilbert–Elliott sampling over many independent lanes.
+
+    ``uniforms`` has shape ``(steps, lanes, 2)``: per decision, draw 0
+    is the state transition and draw 1 the loss — the exact consumption
+    order of :meth:`GilbertElliottLoss.should_drop`, so feeding the
+    pre-drawn stream of a ``random.Random`` reproduces the scalar
+    per-lane drop sequence bit for bit. Every lane starts GOOD, as a
+    fresh :class:`GilbertElliottLoss` does. Returns a ``(steps, lanes)``
+    boolean drop mask.
+    """
+    u = np.asarray(uniforms, dtype=np.float64)
+    if u.ndim != 3 or u.shape[2] != 2:
+        raise ConfigurationError(
+            f"uniforms must have shape (steps, lanes, 2), got {u.shape}"
+        )
+    steps, lanes, _ = u.shape
+    bad = np.zeros(lanes, dtype=bool)
+    drops = np.empty((steps, lanes), dtype=bool)
+    for step in range(steps):
+        transition = u[step, :, 0]
+        # BAD lanes leave the fade when transition < b2g; GOOD lanes
+        # enter one when transition < g2b.
+        bad = np.where(bad, transition >= p_bad_to_good, transition < p_good_to_bad)
+        loss = np.where(bad, loss_bad, loss_good)
+        drops[step] = u[step, :, 1] < loss
+    return drops

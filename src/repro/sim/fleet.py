@@ -1,0 +1,487 @@
+"""Array-structured scenario engine for the two-phase protocol family.
+
+:func:`run_fleet_scenario` simulates the entire receiver fleet as
+arrays instead of per-node event callbacks: one broadcast timeline is
+laid out up front, per-slot channel decisions are drawn for *all*
+receivers at once (a vectorized Markov transition over a
+``(receivers,)`` Gilbert–Elliott state array, or one Bernoulli mask),
+and the per-receiver buffer/authentication state machines run as tight
+loops over the delivered-slot indices — no heapq, no per-delivery
+closures, and no per-announce HMAC (strong authentication is decided
+by record *identity*, with a lazy exact μMAC-collision fallback).
+
+Exactness contract
+------------------
+
+For the supported family (``dap`` and ``tesla_pp``) the engine mirrors
+the discrete-event simulator's RNG draw order — the same technique the
+fault-injection proxy uses to reproduce ``BroadcastMedium`` node-for-
+node — so ``run_fleet_scenario(config)`` returns the *identical*
+summary ``run_scenario`` produces at the same seed:
+
+- master draws: medium seed, per-receiver seeds (receiver order),
+  attacker seed — exactly as ``run_scenario`` + the two-phase builder;
+- medium draws: one shared stream, consumed broadcast-by-broadcast in
+  attachment order, one uniform per Bernoulli decision and two per
+  Gilbert–Elliott decision (transition, then loss);
+- reservoir draws: lazy per-receiver ``random.Random`` objects replay
+  Algorithm 2's ``m/k`` rule offer-for-offer (``randrange`` consumes
+  ``getrandbits``, so this part stays scalar by design);
+- forged MAC bytes are replayed from the attacker stream in injection
+  order, which is what makes the μMAC-collision fallback exact.
+
+:func:`statistical_equivalence` is the cross-check harness for paths
+where exact mirroring is impractical: it runs both engines over a seed
+set and bounds the paired auth/attack-rate differences with a
+confidence interval.
+
+Unsupported protocol families fall back to the DES in
+:func:`~repro.sim.scenario.run_scenario` without behaviour change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro import perf
+from repro.analysis.statistics import MeanEstimate, mean_estimate
+from repro.crypto.mac import INDEX_BITS, MicroMacScheme
+from repro.errors import ConfigurationError
+from repro.protocols.dap import DapSender
+from repro.protocols.packets import FORGED, MacAnnouncePacket
+from repro.protocols.tesla_pp import TeslaPlusPlusSender
+from repro.sim.attacker import forged_copies_for_fraction
+from repro.sim.channel import (
+    GilbertElliottLoss,
+    bernoulli_drop_mask,
+    gilbert_elliott_drop_mask,
+)
+from repro.sim.metrics import fleet_summary_from_arrays
+from repro.sim.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    _seed_bytes,
+)
+from repro.sim.workloads import CrowdsensingWorkload
+from repro.timesync.intervals import IntervalSchedule
+from repro.timesync.sync import LooseTimeSync, SecurityCondition
+
+__all__ = [
+    "supports",
+    "run_fleet_scenario",
+    "statistical_equivalence",
+    "EquivalenceReport",
+]
+
+#: Protocols the vectorized fast path covers (the paper's §IV family).
+SUPPORTED_PROTOCOLS = ("dap", "tesla_pp")
+
+#: Bound on the weak-authentication key-walk gap — must match
+#: ``TwoPhaseReceiverCore``'s ``max_key_gap`` default.
+_MAX_KEY_GAP = 4096
+
+# Timeline slot kinds.
+_ANNOUNCE = 0
+_REVEAL = 1
+_FORGED = 2
+
+
+def supports(config: ScenarioConfig) -> bool:
+    """Whether the vectorized engine covers this configuration."""
+    return config.protocol in SUPPORTED_PROTOCOLS
+
+
+@dataclass(frozen=True)
+class _Timeline:
+    """The full broadcast schedule, flattened into slot arrays.
+
+    ``sources[b]`` is the canonical message id for announce/reveal
+    slots (``copy % sensing_tasks`` — distinct copies of one message
+    share it, exactly as they share MAC bytes) and ``-1 - k`` for the
+    ``k``-th forged injection, so a buffered slot value identifies the
+    MAC bytes it was re-hashed from.
+    """
+
+    times: np.ndarray
+    kinds: np.ndarray
+    intervals: np.ndarray
+    sources: np.ndarray
+    announce_macs: Dict[Tuple[int, int], bytes]
+    forged_macs: List[bytes]
+    legitimate_bits: int
+    forged_bits: int
+
+
+def _build_timeline(
+    config: ScenarioConfig,
+    schedule: IntervalSchedule,
+    workload: CrowdsensingWorkload,
+    attacker_rng: random.Random,
+) -> _Timeline:
+    """Lay out every broadcast in DES event order.
+
+    The sender schedules all its transmit events first (interval-major,
+    position-minor), then the attacker schedules its injections — so a
+    stable sort by time reproduces the event loop's ``(time, seq)``
+    ordering exactly, including float-time ties.
+    """
+    sender_cls = DapSender if config.protocol == "dap" else TeslaPlusPlusSender
+    sender = sender_cls(
+        seed=_seed_bytes(config, "chain"),
+        chain_length=config.intervals + config.disclosure_delay,
+        disclosure_delay=config.disclosure_delay,
+        packets_per_interval=config.packets_per_interval,
+        announce_copies=config.announce_copies,
+        message_for=workload.report_for,
+    )
+    announce_block = config.packets_per_interval * config.announce_copies
+    num_tasks = config.sensing_tasks
+    duration = schedule.duration
+    entries: List[Tuple[float, int, int, int]] = []
+    announce_macs: Dict[Tuple[int, int], bytes] = {}
+    legitimate_bits = 0
+    for interval in range(1, config.intervals + 1):
+        start = schedule.start_of(interval)
+        packets = list(sender.packets_for_interval(interval))
+        spread = max(len(packets), 1)
+        for position, packet in enumerate(packets):
+            time = start + duration * (position + 0.5) / spread
+            legitimate_bits += packet.wire_bits
+            if isinstance(packet, MacAnnouncePacket):
+                source = (position // config.announce_copies) % num_tasks
+                announce_macs[(interval, source)] = packet.mac
+                entries.append((time, _ANNOUNCE, interval, source))
+            else:
+                source = (position - announce_block) % num_tasks
+                entries.append((time, _REVEAL, packet.index, source))
+
+    forged_bits = 0
+    forged_macs: List[bytes] = []
+    if config.attack_fraction > 0.0:
+        copies = forged_copies_for_fraction(announce_block, config.attack_fraction)
+        window = duration * config.attack_burst_fraction
+        forged_wire_bits = MacAnnouncePacket(
+            index=1, mac=b"\x00" * 10, provenance=FORGED
+        ).wire_bits
+        for interval in range(1, config.intervals + 1):
+            start = schedule.start_of(interval)
+            for copy in range(copies):
+                time = start + window * (copy + 0.5) / max(copies, 1)
+                entries.append((time, _FORGED, interval, -1 - len(forged_macs)))
+                # The factory draws 10 bytes per injection, in event
+                # order (strictly increasing times within the attacker).
+                forged_macs.append(
+                    bytes(attacker_rng.getrandbits(8) for _ in range(10))
+                )
+                forged_bits += forged_wire_bits
+
+    # Stable by construction: sender entries precede attacker entries in
+    # the list, matching their scheduling sequence numbers.
+    order = sorted(range(len(entries)), key=lambda i: entries[i][0])
+    times = np.array([entries[i][0] for i in order], dtype=np.float64)
+    kinds = np.array([entries[i][1] for i in order], dtype=np.int8)
+    intervals = np.array([entries[i][2] for i in order], dtype=np.int64)
+    sources = np.array([entries[i][3] for i in order], dtype=np.int64)
+    return _Timeline(
+        times=times,
+        kinds=kinds,
+        intervals=intervals,
+        sources=sources,
+        announce_macs=announce_macs,
+        forged_macs=forged_macs,
+        legitimate_bits=legitimate_bits,
+        forged_bits=forged_bits,
+    )
+
+
+def _delivered_mask(
+    config: ScenarioConfig, slots: int, medium_rng: random.Random
+) -> np.ndarray:
+    """``(slots, receivers)`` delivery mask, consuming the medium RNG
+    stream in the exact order ``BroadcastMedium.broadcast`` does: per
+    broadcast, one decision per attached receiver, in attachment order.
+    """
+    receivers = config.receivers
+    bursty = config.loss_mean_burst is not None and config.loss_probability > 0.0
+    draws = 2 if bursty else 1
+    total = slots * receivers * draws
+    uniforms = np.fromiter(
+        (medium_rng.random() for _ in range(total)), dtype=np.float64, count=total
+    ).reshape(slots, receivers, draws)
+    if bursty:
+        reference = GilbertElliottLoss.from_average(
+            config.loss_probability, config.loss_mean_burst
+        )
+        drops = gilbert_elliott_drop_mask(
+            uniforms,
+            reference.p_good_to_bad,
+            reference.p_bad_to_good,
+            reference.loss_good,
+            reference.loss_bad,
+        )
+    else:
+        drops = bernoulli_drop_mask(uniforms[:, :, 0], config.loss_probability)
+    return ~drops
+
+
+def run_fleet_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Vectorized equivalent of :func:`~repro.sim.scenario.run_scenario`.
+
+    Raises:
+        ConfigurationError: for protocol families outside
+            :data:`SUPPORTED_PROTOCOLS` (callers should fall back to
+            the DES — ``run_scenario`` does this automatically).
+    """
+    if not supports(config):
+        raise ConfigurationError(
+            f"vectorized engine does not support protocol {config.protocol!r};"
+            f" supported: {SUPPORTED_PROTOCOLS}"
+        )
+    # Master draw order mirrors run_scenario + build_two_phase_protocol.
+    rng = random.Random(config.seed)
+    medium_rng = random.Random(rng.getrandbits(64))
+    schedule = IntervalSchedule(0.0, config.interval_duration)
+    sync = LooseTimeSync(config.max_offset)
+    workload = CrowdsensingWorkload(num_tasks=config.sensing_tasks, seed=config.seed)
+    condition = SecurityCondition(schedule, sync, config.disclosure_delay)
+    receiver_seeds = [rng.getrandbits(64) for _ in range(config.receivers)]
+    # run_scenario draws the attacker seed only when the attack is on.
+    attacker_rng = (
+        random.Random(rng.getrandbits(64))
+        if config.attack_fraction > 0.0
+        else random.Random()
+    )
+
+    timeline = _build_timeline(config, schedule, workload, attacker_rng)
+    slots = len(timeline.times)
+    delivered = _delivered_mask(config, slots, medium_rng)
+
+    delay = config.link_delay
+    # The security gate is identical across receivers (zero skew, equal
+    # constant delay): evaluate once per announce slot at arrival time.
+    kinds = timeline.kinds.tolist()
+    intervals = timeline.intervals.tolist()
+    sources = timeline.sources.tolist()
+    times = timeline.times.tolist()
+    gate = [
+        kind == _REVEAL or condition.accepts(interval, time + delay)
+        for kind, interval, time in zip(kinds, intervals, times)
+    ]
+
+    reservoir = config.protocol == "dap"
+    micro_bits = 24 if reservoir else 80
+    item_bits = micro_bits + INDEX_BITS
+    micro = MicroMacScheme(micro_bits)
+    capacity = config.buffers
+    announce_macs = timeline.announce_macs
+    forged_macs = timeline.forged_macs
+
+    names: List[str] = []
+    authenticated_counts: List[int] = []
+    lost_counts: List[int] = []
+    weak_counts: List[int] = []
+    discarded_counts: List[int] = []
+    received_counts: List[int] = []
+    peak_bits: List[int] = []
+
+    for r in range(config.receivers):
+        local_key = _seed_bytes(config, f"local-{r}")
+        rng_r = random.Random(receiver_seeds[r])
+        rand = rng_r.random
+        randrange = rng_r.randrange
+        delivered_slots = np.nonzero(delivered[:, r])[0].tolist()
+        # interval -> [seen_count, slot values]; a slot value names the
+        # MAC bytes the DES would have re-hashed into that record.
+        buckets: Dict[int, List] = {}
+        resolved = set()
+        trusted = 0
+        stored = 0
+        peak = 0
+        n_auth = n_lost = n_weak = n_discarded = 0
+        for b in delivered_slots:
+            kind = kinds[b]
+            if kind != _REVEAL:
+                if not gate[b]:
+                    n_discarded += 1
+                    continue
+                interval = intervals[b]
+                bucket = buckets.get(interval)
+                if bucket is None:
+                    bucket = [0, []]
+                    buckets[interval] = bucket
+                bucket[0] += 1
+                held = bucket[1]
+                if len(held) < capacity:
+                    held.append(sources[b])
+                    stored += 1
+                    if stored > peak:
+                        peak = stored
+                elif reservoir:
+                    # Algorithm 2: keep copy k with probability m/k,
+                    # replacing a uniformly random buffered copy.
+                    if rand() < capacity / bucket[0]:
+                        held[randrange(capacity)] = sources[b]
+                continue
+            interval = intervals[b]
+            source = sources[b]
+            key = (interval, source)
+            if key in resolved:
+                continue
+            if interval > trusted:
+                if interval - trusted > _MAX_KEY_GAP:
+                    n_weak += 1
+                    continue
+                trusted = interval
+            # Weak auth passed: free records older than interval - 1
+            # (one interval of slack for reordered reveals).
+            cutoff = interval - 1
+            stale = [i for i in buckets if i < cutoff]
+            for i in stale:
+                stored -= len(buckets.pop(i)[1])
+            bucket = buckets.get(interval)
+            matched = False
+            if bucket is not None and bucket[1]:
+                held = bucket[1]
+                if source in held:
+                    matched = True
+                else:
+                    # No surviving record shares this reveal's MAC
+                    # bytes — decide by actual μMAC equality so 24-bit
+                    # collisions authenticate exactly as in the DES.
+                    expected = micro.compute(local_key, announce_macs[key])
+                    for slot in held:
+                        mac = (
+                            announce_macs[(interval, slot)]
+                            if slot >= 0
+                            else forged_macs[-1 - slot]
+                        )
+                        if micro.compute(local_key, mac) == expected:
+                            matched = True
+                            break
+            if matched:
+                resolved.add(key)
+                n_auth += 1
+            else:
+                n_lost += 1
+        names.append(f"recv-{r}")
+        authenticated_counts.append(n_auth)
+        lost_counts.append(n_lost)
+        weak_counts.append(n_weak)
+        discarded_counts.append(n_discarded)
+        received_counts.append(len(delivered_slots))
+        peak_bits.append(peak * item_bits)
+
+    sent_authentic = config.packets_per_interval * (
+        config.intervals - config.disclosure_delay
+    )
+    fleet = fleet_summary_from_arrays(
+        names=names,
+        authenticated=authenticated_counts,
+        lost_no_record=lost_counts,
+        rejected_forged=[0] * config.receivers,
+        rejected_weak_auth=weak_counts,
+        discarded_unsafe=discarded_counts,
+        forged_accepted=[0] * config.receivers,
+        packets_received=received_counts,
+        peak_buffer_bits=peak_bits,
+        sent_authentic=sent_authentic,
+    )
+
+    total_bits = timeline.legitimate_bits + timeline.forged_bits
+    forged_fraction = timeline.forged_bits / total_bits if total_bits else 0.0
+
+    horizon = schedule.end_of(config.intervals) + 2 * config.interval_duration
+    simulated = horizon
+    delivered_any = delivered.any(axis=1)
+    if delivered_any.any():
+        last_arrival = float(timeline.times[delivered_any].max()) + delay
+        if last_arrival > horizon:
+            simulated = last_arrival
+
+    active = perf.ACTIVE
+    if active is not None:
+        delivered_total = int(delivered.sum())
+        active.incr("sim.broadcasts", slots)
+        active.incr("sim.deliveries", delivered_total)
+        active.incr("sim.drops", slots * config.receivers - delivered_total)
+
+    return ScenarioResult(
+        config=config,
+        fleet=fleet,
+        sent_authentic=sent_authentic,
+        forged_bandwidth_fraction=forged_fraction,
+        simulated_seconds=simulated,
+        nodes=(),
+    )
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """DES-vs-vectorized cross-check over a seed set.
+
+    Attributes:
+        config: the scenario compared (seed field varies per run).
+        seeds: the seeds compared.
+        identical: how many seeds produced byte-identical fleet
+            summaries (for the supported family this should equal
+            ``len(seeds)``).
+        auth_rate_diff: paired authentication-rate differences
+            (vectorized minus DES), with confidence bounds.
+        attack_rate_diff: paired attack-success-rate differences.
+        passes: whether both confidence intervals contain zero (within
+            ``tolerance``).
+    """
+
+    config: ScenarioConfig
+    seeds: Tuple[int, ...]
+    identical: int
+    auth_rate_diff: MeanEstimate
+    attack_rate_diff: MeanEstimate
+    passes: bool
+
+
+def statistical_equivalence(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+    tolerance: float = 1e-9,
+) -> EquivalenceReport:
+    """Run both engines over ``seeds`` and bound their rate differences.
+
+    The exact-mirroring contract makes the differences identically zero
+    for the supported family; the harness proves it per preset (and
+    remains the right tool for future fast paths where per-draw
+    mirroring is impractical and only distributional equality holds).
+    """
+    from repro.sim.scenario import run_scenario
+
+    if not seeds:
+        raise ConfigurationError("seeds must be non-empty")
+    auth_diffs: List[float] = []
+    attack_diffs: List[float] = []
+    identical = 0
+    for seed in seeds:
+        des = run_scenario(replace(config, seed=seed, engine="des"))
+        fast = run_fleet_scenario(replace(config, seed=seed, engine="vectorized"))
+        auth_diffs.append(fast.authentication_rate - des.authentication_rate)
+        attack_diffs.append(fast.attack_success_rate - des.attack_success_rate)
+        if fast.fleet == des.fleet:
+            identical += 1
+    auth = mean_estimate(auth_diffs, confidence)
+    attack = mean_estimate(attack_diffs, confidence)
+    passes = (
+        auth.low - tolerance <= 0.0 <= auth.high + tolerance
+        and attack.low - tolerance <= 0.0 <= attack.high + tolerance
+    )
+    return EquivalenceReport(
+        config=config,
+        seeds=tuple(seeds),
+        identical=identical,
+        auth_rate_diff=auth,
+        attack_rate_diff=attack,
+        passes=passes,
+    )

@@ -20,6 +20,7 @@ __all__ = [
     "FleetSummary",
     "summary_from_stats",
     "summarise_nodes",
+    "fleet_summary_from_arrays",
 ]
 
 
@@ -122,6 +123,58 @@ def summary_from_stats(name: str, stats) -> NodeSummary:
         packets_received=stats.packets_received,
         peak_buffer_bits=stats.peak_buffer_bits,
     )
+
+
+def fleet_summary_from_arrays(
+    names,
+    authenticated,
+    lost_no_record,
+    rejected_forged,
+    rejected_weak_auth,
+    discarded_unsafe,
+    forged_accepted,
+    packets_received,
+    peak_buffer_bits,
+    sent_authentic: int,
+) -> FleetSummary:
+    """Fold per-receiver counter arrays into a :class:`FleetSummary`.
+
+    The vectorized fleet engine accumulates outcome tallies as parallel
+    sequences (one entry per receiver, receiver order); this folds them
+    into the same summary shape :func:`summarise_nodes` produces, with
+    values coerced to plain ``int`` so summaries compare equal (and
+    hash identically) against DES-produced ones regardless of any NumPy
+    scalar types upstream.
+    """
+    columns = (
+        authenticated,
+        lost_no_record,
+        rejected_forged,
+        rejected_weak_auth,
+        discarded_unsafe,
+        forged_accepted,
+        packets_received,
+        peak_buffer_bits,
+    )
+    if any(len(column) != len(names) for column in columns):
+        raise ConfigurationError(
+            "per-receiver counter arrays must all match the name count"
+        )
+    summaries = [
+        NodeSummary(
+            name=str(name),
+            authenticated=int(authenticated[i]),
+            lost_no_record=int(lost_no_record[i]),
+            rejected_forged=int(rejected_forged[i]),
+            rejected_weak_auth=int(rejected_weak_auth[i]),
+            discarded_unsafe=int(discarded_unsafe[i]),
+            forged_accepted=int(forged_accepted[i]),
+            packets_received=int(packets_received[i]),
+            peak_buffer_bits=int(peak_buffer_bits[i]),
+        )
+        for i, name in enumerate(names)
+    ]
+    return FleetSummary(nodes=tuple(summaries), sent_authentic=int(sent_authentic))
 
 
 def summarise_nodes(

@@ -26,6 +26,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.crypto.kernels import ChainWalkCache
+from repro.crypto.onewayfn import OneWayFunction
 from repro.errors import ConfigurationError
 from repro.protocols.dap import DapReceiver, DapSender
 from repro.protocols.edrp import edrp_params
@@ -65,6 +67,11 @@ _TWO_PHASE = ("dap", "tesla_pp")
 _SINGLE_LEVEL = ("tesla", "mu_tesla")
 _MULTI_LEVEL = ("multilevel", "eftp", "edrp")
 
+#: Scenario engines: the discrete-event simulator, or the array-
+#: structured fast path in :mod:`repro.sim.fleet` (two-phase family;
+#: other families fall back to the DES automatically).
+_ENGINES = ("des", "vectorized")
+
 
 @dataclass(frozen=True)
 class ScenarioConfig:
@@ -95,6 +102,10 @@ class ScenarioConfig:
             :class:`~repro.sim.attacker.FloodingAttacker`).
         sensing_tasks: workload richness.
         seed: master seed (crypto seeds, channel loss, reservoirs).
+        engine: ``"des"`` (event-driven reference) or ``"vectorized"``
+            (:mod:`repro.sim.fleet` array engine; identical summaries
+            at equal seeds for the two-phase family, automatic DES
+            fallback elsewhere).
     """
 
     protocol: str = "dap"
@@ -115,12 +126,17 @@ class ScenarioConfig:
     attack_burst_fraction: float = 0.25
     sensing_tasks: int = 4
     seed: int = 7
+    engine: str = "des"
 
     def __post_init__(self) -> None:
         known = _TWO_PHASE + _SINGLE_LEVEL + _MULTI_LEVEL
         if self.protocol not in known:
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; pick one of {known}"
+            )
+        if self.engine not in _ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; pick one of {_ENGINES}"
             )
         if self.intervals < 3:
             raise ConfigurationError(f"intervals must be >= 3, got {self.intervals}")
@@ -208,6 +224,11 @@ def build_two_phase_protocol(config, condition, workload, rng):
         message_for=workload.report_for,
     )
     receiver_cls = DapReceiver if config.protocol == "dap" else TeslaPlusPlusReceiver
+    # One walk cache for the whole fleet: every receiver back-walks the
+    # same disclosed keys, so cross-receiver hits answer from the memo
+    # (memoized walks are bit-exact — sharing changes no outcome).
+    function = OneWayFunction("F")
+    walk_cache = ChainWalkCache(function)
     receivers = []
     for i in range(config.receivers):
         receivers.append(
@@ -216,6 +237,8 @@ def build_two_phase_protocol(config, condition, workload, rng):
                 condition=condition,
                 local_key=_seed_bytes(config, f"local-{i}"),
                 buffers=config.buffers,
+                function=function,
+                walk_cache=walk_cache,
                 rng=random.Random(rng.getrandbits(64)),
             )
         )
@@ -259,6 +282,8 @@ def _build_single_level(config, simulator, medium, schedule, condition, workload
             message_for=workload.report_for,
         )
         factory = data_forgery_factory()
+    function = OneWayFunction("F")
+    walk_cache = ChainWalkCache(function)
     nodes = []
     for i in range(config.receivers):
         receiver_cls = TeslaReceiver if config.protocol == "tesla" else MuTeslaReceiver
@@ -266,6 +291,8 @@ def _build_single_level(config, simulator, medium, schedule, condition, workload
             commitment=sender.chain.commitment,
             condition=condition,
             buffer_capacity=config.buffers,
+            function=function,
+            walk_cache=walk_cache,
             rng=random.Random(rng.getrandbits(64)),
         )
         node = ReceiverNode(f"recv-{i}", simulator, receiver)
@@ -320,6 +347,14 @@ def _build_multilevel(config, simulator, medium, two_level, sync, workload, rng)
 
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     """Build the world from ``config``, run it to completion, measure it."""
+    if config.engine == "vectorized":
+        # Lazy import: fleet imports this module for the config types.
+        from repro.sim import fleet
+
+        if fleet.supports(config):
+            return fleet.run_fleet_scenario(config)
+        # Unsupported family: fall back to the DES without behaviour
+        # change (same summaries a plain engine="des" run produces).
     rng = random.Random(config.seed)
     simulator = Simulator()
     medium = BroadcastMedium(simulator, rng=random.Random(rng.getrandbits(64)))

@@ -1,6 +1,10 @@
-"""Executor contract: ordered results, isolated labelled failures."""
+"""Executor contract: ordered results, isolated labelled failures, and
+the warm process-pool lifecycle."""
 
 from __future__ import annotations
+
+import os
+import sys
 
 import pytest
 
@@ -22,6 +26,10 @@ def fail_on_three(task: int) -> int:
     if task == 3:
         raise ValueError(f"task {task} exploded")
     return task
+
+
+def worker_pid(task: int) -> int:
+    return os.getpid()
 
 
 class TestSpec:
@@ -76,18 +84,23 @@ class TestSerial:
 class TestParallel:
     def test_matches_serial(self):
         spec = ExperimentSpec(fn=square, tasks=tuple(range(8)))
-        assert ParallelExecutor(jobs=2).run(spec) == SerialExecutor().run(spec)
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.run(spec) == SerialExecutor().run(spec)
 
     def test_single_task_shortcut(self):
         spec = ExperimentSpec(fn=square, tasks=(5,))
-        assert ParallelExecutor(jobs=4).run(spec) == [25]
+        executor = ParallelExecutor(jobs=4)
+        assert executor.run(spec) == [25]
+        # The shortcut never warms the pool.
+        assert executor._pool is None
 
     def test_failure_carries_task_label(self):
         spec = ExperimentSpec(
             fn=fail_on_three, tasks=(1, 3), task_labels=("ok", "boom")
         )
-        with pytest.raises(TaskError) as excinfo:
-            ParallelExecutor(jobs=2).run(spec)
+        with ParallelExecutor(jobs=2) as executor:
+            with pytest.raises(TaskError) as excinfo:
+                executor.run(spec)
         assert excinfo.value.label == "boom"
 
     def test_invalid_jobs_rejected(self):
@@ -95,9 +108,68 @@ class TestParallel:
             ParallelExecutor(jobs=0)
         with pytest.raises(ConfigurationError):
             ParallelExecutor(jobs=2, chunksize=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=2, maxtasksperchild=0)
 
     def test_default_jobs_is_cpu_count(self):
         assert ParallelExecutor().jobs >= 1
+
+
+class TestWarmPool:
+    def test_pool_survives_consecutive_runs(self):
+        """Two runs share one pool: the worker PIDs overlap and the
+        pool object is not rebuilt between calls."""
+        spec = ExperimentSpec(fn=worker_pid, tasks=tuple(range(6)))
+        with ParallelExecutor(jobs=2) as executor:
+            first = set(executor.run(spec))
+            pool = executor._pool
+            assert pool is not None
+            second = set(executor.run(spec))
+            assert executor._pool is pool
+        assert first & second
+
+    def test_task_error_from_reused_worker(self):
+        """A task failure is labelled correctly even on a warm pool, and
+        leaves the pool usable for the next run."""
+        good = ExperimentSpec(fn=square, tasks=(2, 3))
+        bad = ExperimentSpec(
+            fn=fail_on_three, tasks=(1, 3), task_labels=("ok", "boom")
+        )
+        with ParallelExecutor(jobs=2) as executor:
+            assert executor.run(good) == [4, 9]
+            with pytest.raises(TaskError) as excinfo:
+                executor.run(bad)
+            assert excinfo.value.label == "boom"
+            assert isinstance(excinfo.value.__cause__, ValueError)
+            assert executor.run(good) == [4, 9]
+
+    def test_context_manager_shuts_pool_down(self):
+        spec = ExperimentSpec(fn=square, tasks=tuple(range(4)))
+        with ParallelExecutor(jobs=2) as executor:
+            executor.run(spec)
+            assert executor._pool is not None
+        assert executor._pool is None
+
+    def test_close_is_idempotent_and_allows_reuse(self):
+        spec = ExperimentSpec(fn=square, tasks=tuple(range(4)))
+        executor = ParallelExecutor(jobs=2)
+        executor.close()  # closing a never-warmed pool is a no-op
+        assert executor.run(spec) == [0, 1, 4, 9]
+        executor.close()
+        executor.close()
+        # A closed executor warms a fresh pool on the next run.
+        assert executor.run(spec) == [0, 1, 4, 9]
+        executor.close()
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="stdlib max_tasks_per_child"
+    )
+    def test_maxtasksperchild_recycles_workers(self):
+        spec = ExperimentSpec(fn=worker_pid, tasks=tuple(range(4)))
+        with ParallelExecutor(jobs=2, maxtasksperchild=1) as executor:
+            pids = executor.run(spec)
+        # One task per child: 4 tasks must come from 4 distinct workers.
+        assert len(set(pids)) == 4
 
 
 class TestExecutorFor:

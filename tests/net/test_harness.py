@@ -65,6 +65,29 @@ class TestLoadTestConfig:
         assert [s.seed for s in scenarios] == [100, 101, 102]
         assert all(s.protocol == config.protocol for s in scenarios)
 
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="warp")
+
+    def test_vectorized_engine_rejects_udp_rate_and_proxy_faults(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="vectorized", transport="udp")
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="vectorized", attack_rate=10.0)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="vectorized", jitter=0.01)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="vectorized", duplicate_probability=0.1)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(engine="vectorized", reorder_probability=0.1)
+
+    def test_engine_threads_into_shard_scenarios(self):
+        config = LoadTestConfig(receivers=4, shards=2, engine="vectorized")
+        assert all(
+            config.scenario_for_shard(s).engine == "vectorized"
+            for s in range(2)
+        )
+
 
 class TestDeriveSoakWorld:
     def test_rejects_non_two_phase_protocols(self):
@@ -140,6 +163,29 @@ class TestRunLoadtest:
         report = run_loadtest(config)
         assert report.packets_injected == int(40.0 * 12 * 0.5)
         assert report.forged_accepted == 0
+
+    def test_vectorized_engine_predicts_soak_tallies(self):
+        import dataclasses
+
+        base = LoadTestConfig(
+            receivers=4,
+            shards=2,
+            intervals=15,
+            interval_duration=0.1,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=7,
+        )
+        des = run_loadtest(base)
+        vectorized = run_loadtest(dataclasses.replace(base, engine="vectorized"))
+        assert vectorized.authentication_rate == des.authentication_rate
+        assert vectorized.attack_success_rate == des.attack_success_rate
+        assert vectorized.forged_accepted == des.forged_accepted
+        assert vectorized.peak_buffer_bits == des.peak_buffer_bits
+        assert vectorized.sent_authentic == des.sent_authentic
+        # Transport artifacts have no in-memory equivalent.
+        assert vectorized.datagrams_delivered == 0
+        assert vectorized.latency_samples == 0
 
 
 class TestSoakResultProperties:

@@ -4,11 +4,17 @@ from __future__ import annotations
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.protocols.packets import MacAnnouncePacket
-from repro.sim.channel import BernoulliLoss, GilbertElliottLoss
+from repro.sim.channel import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    bernoulli_drop_mask,
+    gilbert_elliott_drop_mask,
+)
 from repro.sim.events import Simulator
 from repro.sim.medium import BroadcastMedium, LinkQuality
 
@@ -104,6 +110,57 @@ class TestGilbertElliott:
     def test_boundary_average_zero_still_allowed(self):
         channel = GilbertElliottLoss.from_average(0.0, mean_burst=3.0)
         assert channel.average_loss() == pytest.approx(0.0)
+
+
+class TestVectorizedMasks:
+    """The array masks must replay the scalar processes draw-for-draw."""
+
+    def test_bernoulli_mask_matches_scalar_sequence(self):
+        probability = 0.3
+        steps, lanes = 200, 7
+        scalar = []
+        uniforms = np.empty((steps, lanes))
+        for lane in range(lanes):
+            process = BernoulliLoss(probability)
+            rng = random.Random(1000 + lane)
+            mirror = random.Random(1000 + lane)
+            scalar.append([process.should_drop(rng) for _ in range(steps)])
+            uniforms[:, lane] = [mirror.random() for _ in range(steps)]
+        mask = bernoulli_drop_mask(uniforms, probability)
+        assert mask.shape == (steps, lanes)
+        for lane in range(lanes):
+            assert mask[:, lane].tolist() == scalar[lane]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_gilbert_elliott_mask_matches_scalar_sequence(self, seed):
+        """Exact per-receiver loss sequence at equal seeds — the parity
+        the fleet engine's delivery mask relies on."""
+        channel_args = dict(
+            p_good_to_bad=0.15, p_bad_to_good=0.35, loss_good=0.02, loss_bad=0.9
+        )
+        steps, lanes = 300, 5
+        scalar = []
+        uniforms = np.empty((steps, lanes, 2))
+        for lane in range(lanes):
+            process = GilbertElliottLoss(**channel_args)
+            rng = random.Random(seed * 100 + lane)
+            mirror = random.Random(seed * 100 + lane)
+            scalar.append([process.should_drop(rng) for _ in range(steps)])
+            for step in range(steps):
+                uniforms[step, lane, 0] = mirror.random()
+                uniforms[step, lane, 1] = mirror.random()
+        mask = gilbert_elliott_drop_mask(uniforms, **channel_args)
+        assert mask.shape == (steps, lanes)
+        for lane in range(lanes):
+            assert mask[:, lane].tolist() == scalar[lane]
+
+    def test_gilbert_elliott_mask_requires_two_draws_per_decision(self):
+        with pytest.raises(ConfigurationError):
+            gilbert_elliott_drop_mask(np.zeros((4, 2)), 0.1, 0.4)
+
+    def test_bernoulli_mask_validates_probability(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_drop_mask(np.zeros(4), 1.5)
 
 
 class TestMediumIntegration:

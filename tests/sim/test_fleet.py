@@ -1,0 +1,185 @@
+"""Vectorized fleet engine: exact parity with the DES, fallbacks, and
+the statistical-equivalence harness."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.engine import stable_key
+from repro.errors import ConfigurationError
+from repro.sim import fleet
+from repro.sim.fleet import (
+    EquivalenceReport,
+    run_fleet_scenario,
+    statistical_equivalence,
+    supports,
+)
+from repro.sim.scenario import ScenarioConfig, run_scenario
+
+
+def _assert_identical(config: ScenarioConfig):
+    """Both engines at the same seed must agree on every metric."""
+    des = run_scenario(dataclasses.replace(config, engine="des"))
+    fast = run_fleet_scenario(config)
+    assert fast.fleet == des.fleet
+    assert fast.sent_authentic == des.sent_authentic
+    assert fast.forged_bandwidth_fraction == des.forged_bandwidth_fraction
+    assert fast.simulated_seconds == des.simulated_seconds
+    return fast
+
+
+class TestExactParity:
+    @pytest.mark.parametrize("protocol", ["dap", "tesla_pp"])
+    @pytest.mark.parametrize("attack", [0.0, 0.5])
+    def test_clean_channel(self, protocol, attack):
+        _assert_identical(
+            ScenarioConfig(
+                protocol=protocol,
+                intervals=15,
+                receivers=4,
+                buffers=4,
+                attack_fraction=attack,
+                seed=11,
+                engine="vectorized",
+            )
+        )
+
+    @pytest.mark.parametrize("protocol", ["dap", "tesla_pp"])
+    def test_bernoulli_loss(self, protocol):
+        _assert_identical(
+            ScenarioConfig(
+                protocol=protocol,
+                intervals=15,
+                receivers=4,
+                buffers=3,
+                attack_fraction=0.5,
+                loss_probability=0.2,
+                seed=3,
+                engine="vectorized",
+            )
+        )
+
+    def test_gilbert_elliott_loss(self):
+        _assert_identical(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=20,
+                receivers=5,
+                buffers=4,
+                attack_fraction=0.5,
+                loss_probability=0.2,
+                loss_mean_burst=5.0,
+                seed=9,
+                engine="vectorized",
+            )
+        )
+
+    def test_heavy_flood_and_small_buffers(self):
+        result = _assert_identical(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=20,
+                receivers=6,
+                buffers=1,
+                attack_fraction=0.9,
+                loss_probability=0.1,
+                seed=4,
+                engine="vectorized",
+            )
+        )
+        # The paper's security invariant survives the fast path.
+        assert result.fleet.total_forged_accepted == 0
+
+    def test_multiple_packets_per_interval(self):
+        _assert_identical(
+            ScenarioConfig(
+                protocol="dap",
+                intervals=12,
+                receivers=3,
+                buffers=4,
+                attack_fraction=0.3,
+                packets_per_interval=3,
+                disclosure_delay=2,
+                seed=21,
+                engine="vectorized",
+            )
+        )
+
+    def test_run_scenario_dispatches_to_fleet(self):
+        config = ScenarioConfig(
+            protocol="dap",
+            intervals=10,
+            receivers=3,
+            attack_fraction=0.5,
+            seed=5,
+            engine="vectorized",
+        )
+        via_dispatch = run_scenario(config)
+        direct = run_fleet_scenario(config)
+        assert via_dispatch.fleet == direct.fleet
+        # The DES path returns live nodes; the fleet path has none.
+        assert via_dispatch.nodes == ()
+
+
+class TestSupportAndFallback:
+    def test_supports_only_two_phase_family(self):
+        assert supports(ScenarioConfig(protocol="dap"))
+        assert supports(ScenarioConfig(protocol="tesla_pp"))
+        assert not supports(ScenarioConfig(protocol="tesla"))
+        assert not supports(ScenarioConfig(protocol="mu_tesla"))
+
+    def test_direct_call_rejects_unsupported(self):
+        with pytest.raises(ConfigurationError):
+            run_fleet_scenario(
+                ScenarioConfig(protocol="tesla", intervals=8, receivers=2)
+            )
+
+    def test_unsupported_protocol_falls_back_without_behaviour_change(self):
+        base = ScenarioConfig(
+            protocol="tesla", intervals=10, receivers=2, seed=13
+        )
+        des = run_scenario(base)
+        fallback = run_scenario(dataclasses.replace(base, engine="vectorized"))
+        assert fallback.fleet == des.fleet
+        assert fallback.sent_authentic == des.sent_authentic
+        assert fallback.simulated_seconds == des.simulated_seconds
+
+    def test_engine_validated_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(engine="warp")
+
+
+class TestCacheKeys:
+    def test_engines_never_alias_in_the_result_cache(self):
+        base = ScenarioConfig(protocol="dap", intervals=10, receivers=2)
+        vectorized = dataclasses.replace(base, engine="vectorized")
+        assert stable_key(base) != stable_key(vectorized)
+
+
+class TestStatisticalEquivalence:
+    def test_passes_for_supported_presets(self):
+        for protocol in fleet.SUPPORTED_PROTOCOLS:
+            report = statistical_equivalence(
+                ScenarioConfig(
+                    protocol=protocol,
+                    intervals=12,
+                    receivers=3,
+                    buffers=3,
+                    attack_fraction=0.5,
+                    loss_probability=0.1,
+                ),
+                seeds=range(1, 6),
+            )
+            assert isinstance(report, EquivalenceReport)
+            assert report.passes, protocol
+            # Exact mirroring: every seed is byte-identical, not just
+            # statistically indistinguishable.
+            assert report.identical == len(report.seeds)
+            assert report.auth_rate_diff.mean == 0.0
+            assert report.attack_rate_diff.mean == 0.0
+
+    def test_rejects_empty_seed_set(self):
+        with pytest.raises(ConfigurationError):
+            statistical_equivalence(ScenarioConfig(), seeds=[])

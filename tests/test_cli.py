@@ -120,6 +120,49 @@ class TestSimulate:
         assert code == 0
 
 
+class TestEngineChoice:
+    SIM_ARGS = ["simulate", "--protocol", "dap", "--p", "0.5", "--buffers", "4",
+                "--intervals", "15", "--receivers", "3", "--seeds", "2"]
+
+    def test_engine_defaults_to_des(self):
+        for command in (["simulate"], ["loadtest"]):
+            assert build_parser().parse_args(command).engine == "des"
+
+    def test_unknown_engine_rejected_at_parse_time(self):
+        for command in (["simulate"], ["loadtest"]):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(command + ["--engine", "quantum"])
+            assert excinfo.value.code == 2
+
+    def test_simulate_vectorized_matches_des(self, capsys):
+        assert main(self.SIM_ARGS + ["--engine", "des"]) == 0
+        des_out = capsys.readouterr().out
+        assert main(self.SIM_ARGS + ["--engine", "vectorized"]) == 0
+        vectorized_out = capsys.readouterr().out
+        assert vectorized_out == des_out
+
+    def test_loadtest_vectorized_matches_des_tallies(self, capsys):
+        import json
+
+        argv = ["loadtest", "--receivers", "2", "--intervals", "12",
+                "--interval-duration", "0.1", "--p", "0.5", "--seed", "3"]
+        assert main(argv) == 0
+        des = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--engine", "vectorized"]) == 0
+        vectorized = json.loads(capsys.readouterr().out)
+        for field in ("authentication_rate", "attack_success_rate",
+                      "forged_accepted", "peak_buffer_bits", "sent_authentic"):
+            assert vectorized[field] == des[field], field
+        # Transport artifacts have no in-memory equivalent.
+        assert vectorized["datagrams_delivered"] == 0
+
+    def test_loadtest_vectorized_rejects_proxy_only_faults(self, capsys):
+        assert main(
+            ["loadtest", "--engine", "vectorized", "--jitter", "0.01"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFigures:
     def test_writes_all_csvs(self, tmp_path, capsys):
         code = main(
@@ -327,11 +370,36 @@ class TestBench:
             ["bench", "--repeat", "0"],
             ["bench", "--repeat", "1.5"],
             ["bench", "--preset", "huge"],
+            ["bench", "--suite", "cooking"],
         ):
             with pytest.raises(SystemExit) as excinfo:
                 main(argv)
             assert excinfo.value.code == 2, argv
             capsys.readouterr()
+
+    def test_sim_suite_writes_parity_checked_speedups(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_sim.json"
+        assert main(
+            ["bench", "--suite", "sim", "--json", str(path),
+             "--preset", "smoke", "--repeat", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fleet_dap" in out
+        document = json.loads(path.read_text())
+        assert document["suite"] == "sim"
+        for section in document["results"].values():
+            assert section["identical_summaries"] is True
+            assert section["speedup"] > 1.0
+
+    def test_suite_defaults_json_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["bench", "--suite", "sim", "--preset", "smoke", "--repeat", "1"]
+        ) == 0
+        assert (tmp_path / "BENCH_sim.json").exists()
+        capsys.readouterr()
 
 
 class TestDurationValidation:
