@@ -89,6 +89,7 @@ def test_kernel_path_beats_raw_prefix_rehash():
     def raw():
         v = value
         for _ in range(rounds):
+            # reprolint: disable=RPL001 -- deliberately-naive baseline the kernel path is measured against
             v = hashlib.sha256(prefix + v).digest()[:10]
 
     guarded = _best_seconds(instrumented)

@@ -14,6 +14,7 @@ Subcommands::
     repro attack      flood a testbed deployment with forgeries
     repro profile     cProfile + perf counters over a scenario preset
     repro bench       crypto or sim bench suite -> BENCH_<suite>.json
+    repro lint        reprolint: check the repo's AST invariants
 
 Every subcommand is a thin shim over the library — anything printed
 here is available programmatically (see README).
@@ -339,6 +340,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=3,
         help="best-of repetitions per timed section",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="reprolint: check the repo's AST invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src"), Path("benchmarks")],
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     return parser
@@ -723,6 +752,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import execute
+
+    return execute(
+        args.paths,
+        output_format=args.format,
+        select_csv=args.select,
+        list_rules=args.list_rules,
+    )
+
+
 _COMMANDS = {
     "solve": _cmd_solve,
     "optimize": _cmd_optimize,
@@ -736,6 +776,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -43,6 +43,7 @@ __all__ = [
     "kernels_disabled",
     "kernels_enabled",
     "set_kernels_enabled",
+    "sha256_digest",
     "sha256_midstate",
 ]
 
@@ -95,6 +96,25 @@ def sha256_midstate(prefix: bytes) -> "hashlib._Hash":
     if state is None:
         state = _SHA256_MIDSTATES[prefix] = hashlib.sha256(prefix)
     return state
+
+
+def sha256_digest(data: bytes, *, prefix: bytes = b"") -> bytes:
+    """One-shot ``SHA-256(prefix + data)`` through the kernel layer.
+
+    The routing point for call sites outside the crypto hot loops
+    (workload readings, deterministic message payloads, seed
+    derivation) so every hash in the tree flows through one module —
+    reprolint's RPL001 pins that. With a non-empty ``prefix`` and the
+    kernels enabled, the prefix absorption comes from the midstate
+    cache; the digest is bit-identical either way. ``prefix`` must be
+    a fixed domain-separation label (it keys the unbounded midstate
+    cache) — variable content belongs in ``data``.
+    """
+    if prefix and ENABLED:
+        h = sha256_midstate(prefix).copy()
+        h.update(data)
+        return h.digest()
+    return hashlib.sha256(prefix + data).digest()
 
 
 def hmac_midstate(key: bytes, label: bytes) -> _hmac.HMAC:

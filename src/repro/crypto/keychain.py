@@ -25,10 +25,9 @@ Three layers live here:
 
 from __future__ import annotations
 
-import hashlib
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-from repro.crypto.kernels import ChainWalkCache
+from repro.crypto.kernels import ChainWalkCache, sha256_digest
 from repro.crypto.onewayfn import (
     DEFAULT_KEY_BITS,
     OneWayFunction,
@@ -106,7 +105,9 @@ def derive_seed_key(seed: bytes, label: str, key_bits: int = DEFAULT_KEY_BITS) -
     """
     if not seed:
         raise ConfigurationError("seed must be non-empty")
-    digest = hashlib.sha256(b"repro.seed|" + label.encode("utf-8") + b"|" + seed).digest()
+    digest = sha256_digest(
+        label.encode("utf-8") + b"|" + seed, prefix=b"repro.seed|"
+    )
     return truncate_to_bits(digest, key_bits)
 
 
@@ -357,7 +358,7 @@ class TwoLevelKeyChain:
         self._high = KeyChain(seed, high_length, self._f0, label="high")
         self._low_length = low_length
         self._eftp = bool(eftp_wiring)
-        self._low_chains: Dict[int, list] = {}
+        self._low_chains: Dict[int, List[bytes]] = {}
 
     @property
     def high_length(self) -> int:
@@ -387,7 +388,7 @@ class TwoLevelKeyChain:
         """High-chain index whose key seeds low chain ``i``."""
         return i if self._eftp else i + 1
 
-    def _materialise_low(self, i: int) -> list:
+    def _materialise_low(self, i: int) -> List[bytes]:
         if i < 1 or i > self._high.length:
             raise KeyChainError(
                 f"high interval {i} outside chain 1..{self._high.length}"

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict
+from typing import ClassVar, Dict
 
 from repro import perf
 from repro.crypto import kernels
@@ -86,6 +86,13 @@ class OneWayFunction:
     label: str
     output_bits: int = DEFAULT_KEY_BITS
 
+    # Hot-path values planted per instance by __post_init__ through
+    # object.__setattr__. Annotated ClassVar so neither the dataclass
+    # machinery nor stable_key's fields() walk treats them as fields.
+    _prefix: ClassVar[bytes]
+    _nbytes: ClassVar[int]
+    _mask: ClassVar[int]
+
     def __post_init__(self) -> None:
         if not self.label:
             raise ConfigurationError("one-way function label must be non-empty")
@@ -128,6 +135,7 @@ class OneWayFunction:
             h = kernels.sha256_midstate(self._prefix).copy()
             h.update(value)
             return self._truncate(h.digest())
+        # reprolint: disable=RPL001 -- kernels-disabled reference path, parity-tested against the midstate kernel
         return self._truncate(hashlib.sha256(self._prefix + bytes(value)).digest())
 
     def iterate(self, value: bytes, times: int) -> bytes:
@@ -157,6 +165,7 @@ class OneWayFunction:
         else:
             prefix = self._prefix
             for _ in range(times):
+                # reprolint: disable=RPL001 -- kernels-disabled reference path, parity-tested against the midstate kernel
                 result = truncate(hashlib.sha256(prefix + result).digest())
         return result
 

@@ -28,7 +28,7 @@ memory-bounded, merely costing longer regeneration walks.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.crypto import kernels
 from repro.crypto.keychain import KeyChain, derive_seed_key
@@ -92,7 +92,7 @@ class PebbledKeyChain:
         newest = derive_seed_key(seed, label, self._function.output_bits)
         # One mandatory full walk to the commitment; plant the halving
         # ladder n, n/2, n/4, ..., 1 for free on the way down.
-        marks = set()
+        marks: Set[int] = set()
         position = length
         while position > 1:
             position //= 2
@@ -226,7 +226,7 @@ class PebbledKeyChain:
         """
         if len(self._pebbles) <= self._retain_cap:
             return
-        kept = {}
+        kept: Dict[int, bytes] = {}
         last_distance = 0
         for position in sorted(self._pebbles):
             if position < frontier and position != self._length:
@@ -267,5 +267,6 @@ def make_key_chain(
     """
     if pebbled is None:
         pebbled = kernels.ENABLED and length >= PEBBLED_THRESHOLD
-    cls = PebbledKeyChain if pebbled else KeyChain
-    return cls(seed, length, function, label)
+    if pebbled:
+        return PebbledKeyChain(seed, length, function, label)
+    return KeyChain(seed, length, function, label)

@@ -1,0 +1,67 @@
+"""Project-specific static analysis (``reprolint``).
+
+The reproduction rests on invariants no generic linter can see: every
+hash must route through :mod:`repro.crypto.kernels` so midstate caching
+stays bit-identical, the simulation layers must stay deterministic so
+the vectorized fleet engine can mirror the DES draw-for-draw, the
+asyncio transport must never block, the process pool must only ever
+receive picklable work, and content-addressed cache keys must cover
+every configuration field. :mod:`repro.devtools.lint` walks the source
+tree and enforces those invariants as machine-checked AST rules
+(RPL001..RPL006) with per-line suppressions, text/JSON reporters and
+CI-friendly exit codes::
+
+    python -m repro.devtools.lint src benchmarks
+    repro lint --format json
+
+See ``docs/API.md`` ("repro.devtools — static analysis") for the rule
+catalogue and the suppression syntax.
+
+Submodules are loaded lazily (PEP 562) so ``python -m
+repro.devtools.lint`` executes ``lint`` exactly once as ``__main__``
+instead of importing it a second time through the package.
+"""
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.lint import (  # noqa: F401
+        LintReport,
+        Violation,
+        check_source,
+        lint_file,
+        lint_paths,
+    )
+    from repro.devtools.rules import (  # noqa: F401
+        ALL_RULES,
+        Rule,
+        rule_catalog,
+    )
+
+__all__ = [
+    "ALL_RULES",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "check_source",
+    "lint_file",
+    "lint_paths",
+    "rule_catalog",
+]
+
+_LINT_EXPORTS = frozenset(
+    {"LintReport", "Violation", "check_source", "lint_file", "lint_paths"}
+)
+_RULE_EXPORTS = frozenset({"ALL_RULES", "Rule", "rule_catalog"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _LINT_EXPORTS:
+        from repro.devtools import lint
+
+        return getattr(lint, name)
+    if name in _RULE_EXPORTS:
+        from repro.devtools import rules
+
+        return getattr(rules, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

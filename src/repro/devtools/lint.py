@@ -1,0 +1,415 @@
+"""The ``reprolint`` engine: file walker, suppressions, reporters.
+
+The engine is rule-agnostic. It parses each Python file once, computes
+the file's *logical path* (the ``repro/...`` or ``benchmarks/...``
+suffix rules scope themselves by), extracts suppression comments with
+:mod:`tokenize` (so strings containing ``# reprolint:`` can never
+confuse it), runs every rule's AST visitor, and folds the surviving
+violations into a :class:`LintReport` with deterministic ordering.
+
+Suppression syntax (both forms take an optional ``-- justification``):
+
+- ``# reprolint: disable=RPL001`` on a flagged line (or on its own
+  line directly above one) silences the named rule(s) there; several
+  codes may be comma-separated.
+- ``# reprolint: disable-file=RPL002`` anywhere in a file silences the
+  rule(s) for the whole file.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "LintContext",
+    "LintReport",
+    "Violation",
+    "check_source",
+    "execute",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
+
+#: Violation code reserved for files the engine itself cannot parse.
+PARSE_ERROR = "RPL000"
+
+class RuleLike(Protocol):
+    """What the engine needs from a rule: a code and an AST check."""
+
+    code: str
+
+    def check(self, ctx: "LintContext") -> Iterator["Violation"]:
+        """Yield every violation of this rule in ``ctx``."""
+        ...
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter row."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        """The JSON-reporter row (stable schema, see tests/devtools)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one file."""
+
+    #: Display path (as given on the command line / relative to cwd).
+    path: str
+    #: Package-rooted posix path (``repro/sim/medium.py``) used by
+    #: rules to scope themselves; fixtures override it freely.
+    logical_path: str
+    source: str
+    tree: ast.Module
+    #: line -> rule codes suppressed on that line.
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule codes suppressed for the whole file.
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """Whether the logical path sits under any of ``prefixes``."""
+        return any(self.logical_path.startswith(prefix) for prefix in prefixes)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        """Whether ``rule`` is silenced at ``line``."""
+        if rule in self.file_suppressions:
+            return True
+        return rule in self.line_suppressions.get(line, ())
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: Tuple[Violation, ...]
+    files_checked: int
+    rules: Tuple[str, ...]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any violation survived suppression."""
+        return 1 if self.violations else 0
+
+    def format_text(self) -> str:
+        """Human-readable report: one row per violation + a summary."""
+        lines = [violation.format() for violation in self.violations]
+        noun = "violation" if len(self.violations) == 1 else "violations"
+        lines.append(
+            f"reprolint: {len(self.violations)} {noun} in"
+            f" {self.files_checked} files"
+            f" ({len(self.rules)} rules)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (schema pinned by tests/devtools)."""
+        return json.dumps(
+            {
+                "version": 1,
+                "files_checked": self.files_checked,
+                "rules": list(self.rules),
+                "violations": [v.to_json() for v in self.violations],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _extract_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Parse ``# reprolint:`` comments out of ``source``.
+
+    Uses :mod:`tokenize` rather than a line regex so the marker inside
+    a string literal is never treated as a directive. A directive on a
+    comment-only line also covers the next physical line, so long
+    statements can carry a suppression without breaching line-length.
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # unparsable: RPL000 path
+        return per_line, file_wide
+    lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = {code.strip() for code in match.group("codes").split(",")}
+        if match.group("kind") == "disable-file":
+            file_wide |= codes
+            continue
+        line = token.start[0]
+        per_line.setdefault(line, set()).update(codes)
+        text_before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+        if not text_before.strip():
+            # Comment-only line: the directive guards the line below.
+            per_line.setdefault(line + 1, set()).update(codes)
+    return per_line, file_wide
+
+
+def _default_rules() -> Tuple[RuleLike, ...]:
+    from repro.devtools.rules import ALL_RULES
+
+    return tuple(rule_cls() for rule_cls in ALL_RULES)
+
+
+def _select_rules(
+    rules: Optional[Sequence[RuleLike]], select: Optional[Iterable[str]]
+) -> Tuple[RuleLike, ...]:
+    active = tuple(rules) if rules is not None else _default_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.code for rule in active}
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        active = tuple(rule for rule in active if rule.code in wanted)
+    return active
+
+
+def logical_path_for(path: Path) -> str:
+    """The package-rooted posix path rules scope themselves by.
+
+    ``src/repro/sim/medium.py -> repro/sim/medium.py``;
+    ``benchmarks/bench_kernels.py`` stays as-is; anything else falls
+    back to the file name, which matches no scoped rule prefix.
+    """
+    parts = path.parts
+    for anchor in ("repro", "benchmarks"):
+        if anchor in parts:
+            index = len(parts) - 1 - parts[::-1].index(anchor)
+            return "/".join(parts[index:])
+    return path.name
+
+
+def check_source(
+    source: str,
+    logical_path: str,
+    *,
+    path: Optional[str] = None,
+    rules: Optional[Sequence[RuleLike]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint a source string as if it lived at ``logical_path``.
+
+    The seam the fixture tests drive: a known-bad snippet is checked
+    against the logical path that puts it in a rule's scope without
+    having to plant files inside the package tree.
+    """
+    display = path if path is not None else logical_path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule=PARSE_ERROR,
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    per_line, file_wide = _extract_suppressions(source)
+    context = LintContext(
+        path=display,
+        logical_path=logical_path,
+        source=source,
+        tree=tree,
+        line_suppressions=per_line,
+        file_suppressions=file_wide,
+    )
+    violations: List[Violation] = []
+    for rule in _select_rules(rules, select):
+        for violation in rule.check(context):
+            if not context.is_suppressed(violation.line, violation.rule):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(
+    path: Path,
+    *,
+    rules: Optional[Sequence[RuleLike]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return check_source(
+        source,
+        logical_path_for(path),
+        path=str(path),
+        rules=rules,
+        select=select,
+    )
+
+
+def _iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            files.append(path)
+    # De-duplicate while preserving the sorted-walk order.
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for candidate in files:
+        if candidate not in seen:
+            seen.add(candidate)
+            unique.append(candidate)
+    return unique
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: Optional[Sequence[RuleLike]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint files and directories (recursively) into one report."""
+    active = _select_rules(rules, select)
+    violations: List[Violation] = []
+    files = _iter_python_files([Path(path) for path in paths])
+    for file_path in files:
+        violations.extend(lint_file(file_path, rules=active))
+    return LintReport(
+        violations=tuple(violations),
+        files_checked=len(files),
+        rules=tuple(rule.code for rule in active),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="repro's AST invariant checker (RPL rules)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src"), Path("benchmarks")],
+        help="files/directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def execute(
+    paths: Sequence[Path],
+    *,
+    output_format: str = "text",
+    select_csv: Optional[str] = None,
+    list_rules: bool = False,
+) -> int:
+    """Shared driver behind ``python -m repro.devtools.lint`` and the
+    ``repro lint`` subcommand; returns the process exit code (0/1/2)."""
+    if list_rules:
+        from repro.devtools.rules import rule_catalog
+
+        for code, name, description in rule_catalog():
+            print(f"{code}  {name:<24} {description}")
+        return 0
+    select = None
+    if select_csv is not None:
+        select = [code.strip() for code in select_csv.split(",") if code.strip()]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code (0/1/2)."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return execute(
+        args.paths,
+        output_format=args.format,
+        select_csv=args.select,
+        list_rules=args.list_rules,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -21,6 +21,7 @@ Two layers:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -173,7 +174,5 @@ class ResultCache:
                 handle.write(payload)
             os.replace(tmp_name, self._path(key))
         except OSError:  # pragma: no cover - disk full etc.
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
-            except OSError:
-                pass

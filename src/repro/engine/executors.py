@@ -33,7 +33,7 @@ import multiprocessing
 import os
 import sys
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError, TaskError
 from repro.engine.spec import ExperimentSpec
@@ -73,6 +73,9 @@ class SerialExecutor(Executor):
         for index, task in enumerate(spec.tasks):
             try:
                 results.append(spec.fn(task))
+            # Executor fault boundary: any task failure is converted to
+            # a labelled TaskError and re-raised, never swallowed —
+            # exactly the shape RPL006 requires of a broad except.
             except Exception as exc:
                 raise self._task_error(spec, index, exc) from exc
         return results
@@ -132,7 +135,7 @@ class ParallelExecutor(Executor):
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:
-            kwargs: dict = {
+            kwargs: Dict[str, Any] = {
                 "max_workers": self.jobs,
                 "initializer": _warm_worker,
             }
@@ -164,6 +167,9 @@ class ParallelExecutor(Executor):
                 # discard it so the next run() starts fresh.
                 self.close()
                 raise self._task_error(spec, index, exc) from exc
+            # Executor fault boundary (RPL006-conformant): the failure
+            # is wrapped into a labelled TaskError and re-raised after
+            # cancelling the tasks behind it.
             except Exception as exc:
                 for pending in futures[index + 1:]:
                     pending.cancel()

@@ -16,7 +16,7 @@ equivalence tests assert serial == parallel == cached, bit for bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CacheKeyError
 from repro.engine.cache import ResultCache
@@ -40,7 +40,7 @@ class RunReport:
     cache_hits: int
     executed: int
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Any]:
         return iter(self.results)
 
     def __len__(self) -> int:
@@ -105,8 +105,9 @@ class Runner:
             fresh = self.executor.run(sub_spec)
             for index, value in zip(miss_indices, fresh):
                 results[index] = value
-                if keys[index] is not None:
-                    self.cache.store(keys[index], value)
+                key = keys[index]
+                if key is not None:
+                    self.cache.store(key, value)
 
         return RunReport(
             results=tuple(results),

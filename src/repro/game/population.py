@@ -123,6 +123,7 @@ class PopulationGame:
                 f"mutation_rate must be in [0, 0.5), got {mutation_rate}"
             )
         self._params = params
+        # reprolint: disable=RPL002 -- ad-hoc/interactive fallback; every scenario path passes a master-seeded rng
         self._rng = rng or random.Random()
         self._imitation = imitation_rate
         self._mutation = mutation_rate

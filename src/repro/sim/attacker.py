@@ -196,6 +196,7 @@ class FloodingAttacker:
         self._authentic = authentic_copies_per_interval
         self._intervals = intervals
         self._burst_fraction = burst_fraction
+        # reprolint: disable=RPL002 -- ad-hoc/interactive fallback; every scenario path passes a master-seeded rng
         self._rng = rng or random.Random()
         self.packets_injected = 0
 

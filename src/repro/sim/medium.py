@@ -86,6 +86,7 @@ class BroadcastMedium:
         default_link: LinkQuality = LinkQuality(),
     ) -> None:
         self._simulator = simulator
+        # reprolint: disable=RPL002 -- ad-hoc/interactive fallback; every scenario path passes a master-seeded rng
         self._rng = rng or random.Random()
         self._default_link = default_link
         self._attachments: List[_Attachment] = []

@@ -10,12 +10,12 @@ rather than opaque random bytes.
 
 from __future__ import annotations
 
-import hashlib
 import random
 import struct
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from repro.crypto.kernels import sha256_digest
 from repro.errors import ConfigurationError
 from repro.protocols.messages import MESSAGE_BYTES
 
@@ -97,9 +97,10 @@ class CrowdsensingWorkload:
         """
         if not 0 <= task_id < len(self._tasks):
             raise ConfigurationError(f"unknown task_id {task_id}")
-        digest = hashlib.sha256(
-            b"repro.reading|%d|%d|%d" % (self._seed, task_id, interval)
-        ).digest()
+        digest = sha256_digest(
+            b"%d|%d|%d" % (self._seed, task_id, interval),
+            prefix=b"repro.reading|",
+        )
         noise = int.from_bytes(digest[:4], "big") / 2 ** 32
         base = 40.0 + 10.0 * task_id
         return base + 5.0 * noise
@@ -118,7 +119,7 @@ class CrowdsensingWorkload:
     def encode_report(report: SensorReport) -> bytes:
         """Pack a report into exactly ``MESSAGE_BYTES`` bytes."""
         header = _REPORT_HEADER.pack(report.task_id, report.interval, report.reading)
-        pad = hashlib.sha256(header).digest()[:_PAD]
+        pad = sha256_digest(header)[:_PAD]
         return header + pad
 
     @staticmethod
@@ -129,7 +130,7 @@ class CrowdsensingWorkload:
                 f"report must be {MESSAGE_BYTES} bytes, got {len(payload)}"
             )
         header = payload[: _REPORT_HEADER.size]
-        expected_pad = hashlib.sha256(header).digest()[:_PAD]
+        expected_pad = sha256_digest(header)[:_PAD]
         if payload[_REPORT_HEADER.size :] != expected_pad:
             raise ConfigurationError("corrupt report padding")
         task_id, interval, reading = _REPORT_HEADER.unpack(header)

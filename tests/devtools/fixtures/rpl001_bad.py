@@ -1,0 +1,10 @@
+"""Known-bad RPL001 fixture: direct primitive hashing outside the
+kernel allowlist (checked as if it lived under ``repro/protocols/``)."""
+
+import hashlib
+import hmac
+
+
+def tag_payload(payload: bytes, key: bytes) -> bytes:
+    mac = hmac.new(key, payload, "sha256").digest()
+    return hashlib.sha256(payload + mac).digest()

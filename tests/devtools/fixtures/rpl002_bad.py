@@ -1,0 +1,20 @@
+"""Known-bad RPL002 fixture: four nondeterminism sources (checked as
+if it lived under ``repro/sim/``)."""
+
+import random
+import time
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def fresh_rng() -> random.Random:
+    return random.Random()
+
+
+def total_load(nodes) -> float:
+    total = 0.0
+    for load in set(nodes):
+        total += load
+    return total

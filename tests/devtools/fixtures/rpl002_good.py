@@ -1,0 +1,19 @@
+"""Known-good RPL002 fixture: seeded RNGs threaded explicitly, sorted
+iteration over unordered collections."""
+
+import random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()
+
+
+def fresh_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def total_load(nodes) -> float:
+    total = 0.0
+    for load in sorted(set(nodes)):
+        total += load
+    return total

@@ -1,0 +1,13 @@
+"""Known-bad RPL003 fixture: blocking calls inside async bodies
+(checked as if it lived under ``repro/net/``)."""
+
+import subprocess
+import time
+
+
+async def pump() -> None:
+    time.sleep(0.1)
+
+
+async def shell() -> None:
+    subprocess.run(["true"], check=False)

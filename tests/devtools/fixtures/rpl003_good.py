@@ -1,0 +1,23 @@
+"""Known-good RPL003 fixture: awaited sleeps; blocking work confined
+to sync helpers destined for an executor."""
+
+import asyncio
+import time
+
+
+async def pump() -> None:
+    await asyncio.sleep(0.1)
+
+
+def sync_probe() -> float:
+    # Sync code may block freely; only async bodies are constrained.
+    time.sleep(0.0)
+    return 0.0
+
+
+async def offload() -> None:
+    def blocking_section() -> None:
+        time.sleep(0.0)
+
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, blocking_section)

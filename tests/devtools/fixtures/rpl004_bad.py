@@ -1,0 +1,17 @@
+"""Known-bad RPL004 fixture: unpicklable engine payloads and a
+module-level file handle (checked as if it lived under
+``repro/analysis/``). Never imported — only parsed."""
+
+from repro.engine import run_tasks
+from repro.engine.spec import ExperimentSpec
+
+LOG = open("run.log", "a")
+
+
+def sweep(tasks):
+    def local_worker(task):
+        return task * 2
+
+    spec = ExperimentSpec(fn=lambda task: task, tasks=tuple(tasks))
+    results = run_tasks(local_worker, tasks)
+    return spec, results

@@ -1,0 +1,20 @@
+"""Known-good RPL004 fixture: module-level worker functions and
+scoped file handles."""
+
+from repro.engine import run_tasks
+from repro.engine.spec import ExperimentSpec
+
+
+def module_worker(task):
+    return task * 2
+
+
+def sweep(tasks):
+    spec = ExperimentSpec(fn=module_worker, tasks=tuple(tasks))
+    results = run_tasks(module_worker, tasks)
+    return spec, results
+
+
+def append_line(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)

@@ -1,0 +1,17 @@
+"""Known-bad RPL005 fixture: a cache-keyed config that is not frozen
+and hides a knob in an unannotated class attribute — ``stable_key``
+folds dataclass *fields* only, so ``engine`` would silently never
+reach the cache key."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ScenarioConfig:
+    intervals: int = 30
+    engine = "des"
+
+
+# reprolint: cache-keyed
+class HandRolledConfig:
+    buffers = 4

@@ -1,0 +1,18 @@
+"""Known-good RPL005 fixture: frozen dataclasses with every knob an
+annotated field (or an explicit ClassVar)."""
+
+from dataclasses import dataclass
+from typing import ClassVar, Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    KNOWN_ENGINES: ClassVar[Tuple[str, ...]] = ("des", "vectorized")
+    intervals: int = 30
+    engine: str = "des"
+
+
+# reprolint: cache-keyed
+@dataclass(frozen=True)
+class OptedInConfig:
+    axis: str = "p"

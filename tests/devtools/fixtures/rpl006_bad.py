@@ -1,0 +1,9 @@
+"""Known-bad RPL006 fixture: a broad except that swallows the failure
+(checked as if it lived under ``repro/game/``)."""
+
+
+def swallow(callback):
+    try:
+        return callback()
+    except Exception:
+        return None

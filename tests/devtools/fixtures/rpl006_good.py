@@ -1,0 +1,18 @@
+"""Known-good RPL006 fixture: broad excepts are fault boundaries that
+wrap and re-raise; anything narrower may handle locally."""
+
+from repro.errors import TaskError
+
+
+def boundary(callback, label):
+    try:
+        return callback()
+    except Exception as exc:
+        raise TaskError(f"{label} failed: {exc}", label=label, index=0) from exc
+
+
+def narrow(callback):
+    try:
+        return callback()
+    except ValueError:
+        return None

@@ -1,0 +1,36 @@
+"""The tier-1 invariant gate: the shipped tree passes its own linter.
+
+This is the test that turns the RPL rules into a pre-merge gate even
+without CI: a stray ``hashlib`` call, an unseeded RNG in ``sim/``, a
+blocking call in an async transport path, or a cache-key-invisible
+config knob fails ``pytest`` here with the full violation listing.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.lint import lint_paths
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_src_and_benchmarks_are_reprolint_clean():
+    report = lint_paths([ROOT / "src", ROOT / "benchmarks"])
+    assert report.files_checked > 80
+    assert report.violations == (), "\n" + report.format_text()
+
+
+def test_module_entry_point_exits_zero():
+    """`python -m repro.devtools.lint src` — the CI invocation."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", "src", "benchmarks"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 violations" in result.stdout

@@ -98,9 +98,10 @@ class TestParallel:
         spec = ExperimentSpec(
             fn=fail_on_three, tasks=(1, 3), task_labels=("ok", "boom")
         )
-        with ParallelExecutor(jobs=2) as executor:
-            with pytest.raises(TaskError) as excinfo:
-                executor.run(spec)
+        with ParallelExecutor(jobs=2) as executor, pytest.raises(
+            TaskError
+        ) as excinfo:
+            executor.run(spec)
         assert excinfo.value.label == "boom"
 
     def test_invalid_jobs_rejected(self):

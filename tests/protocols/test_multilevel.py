@@ -233,9 +233,7 @@ class TestMultiLevelAuthentication:
         receiver = make_receiver(sender, two_level, params)
 
         def drop_early_cdms(packet, flat):
-            if isinstance(packet, CdmPacket) and flat <= 6:
-                return False
-            return True
+            return not (isinstance(packet, CdmPacket) and flat <= 6)
 
         events = run_flat_intervals(sender, receiver, 16, drop_early_cdms)
         authenticated = {

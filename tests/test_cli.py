@@ -415,3 +415,37 @@ class TestDurationValidation:
             main(["attack", "--port", "45998", "--duration", "-1"])
         assert excinfo.value.code == 2
         assert "positive finite" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_lint_src_is_clean(self, capsys):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        assert main(["lint", str(root / "src")]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_lint_reports_violations_with_exit_one(self, tmp_path, capsys):
+        tree = tmp_path / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "dirty.py").write_text(
+            "import random\n\n\ndef f():\n    return random.random()\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "RPL002" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "empty.py").write_text("VALUE = 1\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["violations"] == []
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RPL001" in capsys.readouterr().out
+
+    def test_lint_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
