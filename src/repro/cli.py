@@ -5,6 +5,7 @@ Subcommands::
     repro solve       classify equilibria for one (p, m) game
     repro optimize    Algorithm 3: sweep m, pick the optimum
     repro simulate    run a protocol scenario across seeds
+    repro scenarios   list / describe / validate the scenario catalog
     repro figures     regenerate Fig. 5-8 data as CSV + ASCII plots
     repro sensitivity robustness of m* to the economic constants
     repro portrait    ASCII phase portrait of the replicator field
@@ -45,7 +46,17 @@ from repro.game.ess import fixed_points, realized_ess
 from repro.game.optimizer import BufferOptimizer, naive_defense_cost
 from repro.game.parameters import GameParameters, paper_parameters
 from repro.game.sensitivity import recommendation_stability
-from repro.sim.experiments import run_repeated
+from repro.scenarios import (
+    ALL_PROTOCOLS,
+    ENGINES,
+    NET_PROTOCOLS,
+    TIER_NAMES,
+    WORKLOADS,
+    get_scenario,
+    list_scenarios,
+    validate_catalog,
+)
+from repro.sim.experiments import run_registered, run_repeated
 from repro.sim.scenario import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
@@ -166,30 +177,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run a protocol scenario")
     simulate.add_argument(
-        "--protocol",
-        default="dap",
-        choices=("dap", "tesla_pp", "tesla", "mu_tesla", "multilevel", "eftp", "edrp"),
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a registered catalog scenario (repro scenarios list);"
+        " overrides the shape flags below",
     )
+    simulate.add_argument("--protocol", default="dap", choices=ALL_PROTOCOLS)
     simulate.add_argument("--p", type=float, default=0.0, help="attack fraction")
     simulate.add_argument("--buffers", type=int, default=4)
     simulate.add_argument("--intervals", type=int, default=60)
     simulate.add_argument("--receivers", type=int, default=5)
     simulate.add_argument("--loss", type=float, default=0.0)
-    simulate.add_argument("--seeds", type=int, default=5, help="repetitions")
+    simulate.add_argument(
+        "--workload",
+        default="crowdsensing",
+        choices=WORKLOADS,
+        help="workload family driving the payloads",
+    )
+    simulate.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="repetitions (default: 5, or the scenario's canonical"
+        " seeds with --scenario)",
+    )
     simulate.add_argument(
         "--engine",
-        choices=("des", "vectorized"),
-        default="des",
+        choices=ENGINES,
+        default=None,
         help="scenario engine: event-driven simulation, or the array"
         " fleet engine (bit-identical for dap/tesla_pp, ~20x faster;"
         " other protocols fall back to des)",
     )
     _add_engine_flags(simulate)
 
+    scenarios = sub.add_parser(
+        "scenarios", help="list / describe / validate the scenario catalog"
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scen_list = scen_sub.add_parser("list", help="the registered catalog")
+    scen_list.add_argument("--family", choices=WORKLOADS, default=None)
+    scen_list.add_argument("--tier", choices=TIER_NAMES, default=None)
+    scen_list.add_argument("--engine", choices=ENGINES, default=None)
+    scen_list.add_argument("--protocol", choices=ALL_PROTOCOLS, default=None)
+    scen_describe = scen_sub.add_parser(
+        "describe", help="one scenario, in full"
+    )
+    scen_describe.add_argument("name", help="catalog name (see list)")
+    scen_validate = scen_sub.add_parser(
+        "validate",
+        help="replay the dual-engine contract (all scenarios, or named)",
+    )
+    scen_validate.add_argument(
+        "names", nargs="*", help="scenarios to validate (default: all)"
+    )
+    scen_validate.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="validate at this single seed instead of the canonical set",
+    )
+
     figures = sub.add_parser("figures", help="regenerate Fig. 5-8 data")
     figures.add_argument("--out", type=Path, default=Path("figures"))
     figures.add_argument("--points", type=int, default=25, help="sweep resolution")
     figures.add_argument("--no-plots", action="store_true", help="CSV only")
+    figures.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="also run this catalog scenario across its seeds and write"
+        " scenario_<NAME>.csv next to the figure data",
+    )
     _add_engine_flags(figures)
 
     sensitivity = sub.add_parser(
@@ -223,7 +283,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="loopback",
         help="deterministic in-process loopback, or real UDP sockets",
     )
-    loadtest.add_argument("--protocol", choices=("dap", "tesla_pp"), default="dap")
+    loadtest.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="soak a registered catalog scenario (repro scenarios list);"
+        " overrides the shape flags below",
+    )
+    loadtest.add_argument("--protocol", choices=NET_PROTOCOLS, default="dap")
     loadtest.add_argument("--receivers", type=_positive_int, default=4)
     loadtest.add_argument(
         "--shards",
@@ -252,7 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--seed", type=int, default=7)
     loadtest.add_argument(
         "--engine",
-        choices=("des", "vectorized"),
+        choices=ENGINES,
         default="des",
         help="des: drive the live daemons; vectorized: predict the same"
         " per-node tallies through the array scenario engine (loopback"
@@ -263,7 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="stand up a live UDP deployment")
     serve.add_argument("--port", type=_positive_int, required=True)
     serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--protocol", choices=("dap", "tesla_pp"), default="dap")
+    serve.add_argument("--protocol", choices=NET_PROTOCOLS, default="dap")
     serve.add_argument("--receivers", type=_positive_int, default=2)
     serve.add_argument("--intervals", type=_positive_int, default=20)
     serve.add_argument("--interval-duration", type=_positive_float, default=0.5)
@@ -426,25 +493,42 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = ScenarioConfig(
-        protocol=args.protocol,
-        intervals=args.intervals,
-        receivers=args.receivers,
-        buffers=args.buffers,
-        attack_fraction=args.p,
-        loss_probability=args.loss,
-        engine=args.engine,
-    )
+    import dataclasses
+
+    if args.scenario is not None:
+        descriptor = get_scenario(args.scenario)
+        config = descriptor.config
+        if args.engine is not None:
+            config = dataclasses.replace(config, engine=args.engine)
+        seeds = (
+            list(descriptor.seeds)
+            if args.seeds is None
+            else list(range(1, args.seeds + 1))
+        )
+        print(
+            f"scenario            : {descriptor.name}"
+            f" (tier {descriptor.tier}, {descriptor.family})"
+        )
+    else:
+        config = ScenarioConfig(
+            protocol=args.protocol,
+            intervals=args.intervals,
+            receivers=args.receivers,
+            buffers=args.buffers,
+            attack_fraction=args.p,
+            loss_probability=args.loss,
+            workload=args.workload,
+            engine=args.engine or "des",
+        )
+        seeds = list(range(1, (args.seeds or 5) + 1))
     executor, cache = _engine(args)
-    outcome = run_repeated(
-        config,
-        seeds=list(range(1, args.seeds + 1)),
-        executor=executor,
-        cache=cache,
+    outcome = run_repeated(config, seeds=seeds, executor=executor, cache=cache)
+    print(f"protocol            : {config.protocol}")
+    print(
+        f"attack fraction     : {config.attack_fraction}  "
+        f" loss: {config.loss_probability}"
     )
-    print(f"protocol            : {args.protocol}")
-    print(f"attack fraction     : {args.p}   loss: {args.loss}")
-    print(f"buffers m           : {args.buffers}")
+    print(f"buffers m           : {config.buffers}")
     print(f"authentication rate : {outcome.authentication_rate}")
     print(f"attack success rate : {outcome.attack_success_rate}")
     print(f"forged accepted     : {outcome.total_forged_accepted}")
@@ -510,7 +594,25 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             for point in curves["paper"].points
         ],
     )
-    for path in (path5, path6, path7, path8):
+    paths = [path5, path6, path7, path8]
+    if args.scenario is not None:
+        outcome = run_registered(
+            args.scenario, executor=executor, cache=cache
+        )
+        paths.append(
+            write_csv(
+                out / f"scenario_{args.scenario}.csv",
+                ["seed", "authentication_rate", "attack_success_rate",
+                 "forged_accepted", "peak_buffer_bits"],
+                [
+                    (r.config.seed, r.authentication_rate,
+                     r.attack_success_rate, r.fleet.total_forged_accepted,
+                     r.fleet.peak_buffer_bits)
+                    for r in outcome.results
+                ],
+            )
+        )
+    for path in paths:
         print(f"wrote {path}")
 
     if not args.no_plots:
@@ -599,24 +701,49 @@ def _cmd_boundaries(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
-    config = LoadTestConfig(
-        transport=args.transport,
-        protocol=args.protocol,
-        receivers=args.receivers,
-        shards=args.shards,
-        intervals=args.intervals,
-        interval_duration=args.interval_duration,
-        buffers=args.buffers,
-        attack_fraction=args.p,
-        attack_rate=float(args.rate),
-        loss_probability=args.loss,
-        loss_mean_burst=args.burst,
-        jitter=args.jitter,
-        duplicate_probability=args.duplicate,
-        reorder_probability=args.reorder,
-        seed=args.seed,
-        engine=args.engine,
-    )
+    if args.scenario is not None:
+        sc = get_scenario(args.scenario).config
+        config = LoadTestConfig(
+            transport=args.transport,
+            protocol=sc.protocol,
+            receivers=sc.receivers,
+            shards=min(args.shards, sc.receivers),
+            intervals=sc.intervals,
+            interval_duration=sc.interval_duration,
+            buffers=sc.buffers,
+            packets_per_interval=sc.packets_per_interval,
+            announce_copies=sc.announce_copies,
+            disclosure_delay=sc.disclosure_delay,
+            attack_fraction=sc.attack_fraction,
+            attack_burst_fraction=sc.attack_burst_fraction,
+            loss_probability=sc.loss_probability,
+            loss_mean_burst=sc.loss_mean_burst,
+            delay=sc.link_delay,
+            max_offset=sc.max_offset,
+            workload=sc.workload,
+            sensing_tasks=sc.sensing_tasks,
+            seed=sc.seed,
+            engine=args.engine,
+        )
+    else:
+        config = LoadTestConfig(
+            transport=args.transport,
+            protocol=args.protocol,
+            receivers=args.receivers,
+            shards=args.shards,
+            intervals=args.intervals,
+            interval_duration=args.interval_duration,
+            buffers=args.buffers,
+            attack_fraction=args.p,
+            attack_rate=float(args.rate),
+            loss_probability=args.loss,
+            loss_mean_burst=args.burst,
+            jitter=args.jitter,
+            duplicate_probability=args.duplicate,
+            reorder_probability=args.reorder,
+            seed=args.seed,
+            engine=args.engine,
+        )
     executor, _ = _engine(args)
     report = run_loadtest(config, executor=executor)
     print(report.to_json())
@@ -752,6 +879,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.scenarios_command == "list":
+        rows = list_scenarios(
+            family=args.family,
+            tier=args.tier,
+            engine=args.engine,
+            protocol=args.protocol,
+        )
+        print(render_table(
+            ["name", "tier", "family", "protocol", "engines", "seeds"],
+            [
+                (
+                    d.name,
+                    d.tier,
+                    d.family,
+                    d.config.protocol,
+                    "+".join(d.engines),
+                    ",".join(str(s) for s in d.seeds),
+                )
+                for d in rows
+            ],
+            title=f"scenario catalog ({len(rows)} entries)",
+        ))
+        return 0
+    if args.scenarios_command == "describe":
+        d = get_scenario(args.name)
+        print(f"name          : {d.name}")
+        print(f"family        : {d.family}")
+        print(f"tier          : {d.tier}")
+        print(f"engines       : {', '.join(d.engines)}")
+        if d.engine_exclusion:
+            print(f"exclusion     : {d.engine_exclusion}")
+        print(f"seeds         : {', '.join(str(s) for s in d.seeds)}")
+        print(f"provenance    : {d.provenance or '-'}")
+        print(f"generated     : {d.generated}")
+        print("config        :")
+        import dataclasses
+
+        for field_ in dataclasses.fields(d.config):
+            print(f"  {field_.name:<22}: {getattr(d.config, field_.name)}")
+        return 0
+    # validate
+    seeds = [args.seed] if args.seed is not None else None
+    reports = validate_catalog(args.names or None, seeds=seeds)
+    failed = 0
+    for report in reports:
+        status = "ok" if report.passed else "FAIL"
+        extra = (
+            f" [des-only: {report.engine_exclusion}]"
+            if "vectorized" not in report.engines
+            else ""
+        )
+        print(
+            f"{status:<4} {report.name:<28} engines={'+'.join(report.engines)}"
+            f" seeds={','.join(str(s) for s in report.seeds)}"
+            f" comparisons={report.comparisons}{extra}"
+        )
+        for mismatch in report.mismatches:
+            print(f"     {mismatch}", file=sys.stderr)
+        if not report.passed:
+            failed += 1
+    print(
+        f"{len(reports) - failed}/{len(reports)} scenarios uphold the"
+        " replay contract"
+    )
+    return 1 if failed else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import execute
 
@@ -767,6 +962,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "optimize": _cmd_optimize,
     "simulate": _cmd_simulate,
+    "scenarios": _cmd_scenarios,
     "figures": _cmd_figures,
     "sensitivity": _cmd_sensitivity,
     "portrait": _cmd_portrait,

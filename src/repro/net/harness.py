@@ -38,8 +38,9 @@ from repro.net.flood import FloodAttacker, ProvenanceRegistry
 from repro.net.proxy import FaultInjectionProxy, ProxyConfig
 from repro.net.transport import LoopbackNetwork
 from repro.sim.metrics import FleetSummary
+from repro.scenarios.families import NET_PROTOCOLS
 from repro.sim.scenario import ScenarioConfig, build_two_phase_protocol
-from repro.sim.workloads import CrowdsensingWorkload
+from repro.sim.workloads import workload_for
 from repro.timesync.intervals import IntervalSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
@@ -55,7 +56,9 @@ __all__ = [
     "percentile",
 ]
 
-_NET_PROTOCOLS = ("dap", "tesla_pp")
+# Canonical table: repro.scenarios.families (the codec covers every
+# family; the daemon builders only the two-phase).
+_NET_PROTOCOLS = NET_PROTOCOLS
 
 
 @dataclass
@@ -94,7 +97,7 @@ def derive_soak_world(config: ScenarioConfig) -> SoakWorld:
     proxy_rng = random.Random(rng.getrandbits(64))
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
-    workload = CrowdsensingWorkload(num_tasks=config.sensing_tasks, seed=config.seed)
+    workload = workload_for(config)
     condition = SecurityCondition(schedule, sync, config.disclosure_delay)
     sender, receivers, factory, authentic_copies, sent_authentic = (
         build_two_phase_protocol(config, condition, workload, rng)
@@ -290,6 +293,9 @@ class LoadTestConfig:
             ``attack_fraction`` when > 0).
         loss_probability / loss_mean_burst / delay / jitter /
         duplicate_probability / reorder_probability: proxy fault knobs.
+        workload: workload family driven over the wire (one of
+            :data:`~repro.scenarios.families.WORKLOADS`).
+        sensing_tasks: distinct workload sources per shard.
         seed: master seed; shard ``s`` runs at ``seed + s``.
         engine: ``"des"`` runs each shard as a real loopback soak;
             ``"vectorized"`` predicts the same per-node outcome tallies
@@ -321,6 +327,8 @@ class LoadTestConfig:
     duplicate_probability: float = 0.0
     reorder_probability: float = 0.0
     max_offset: float = 0.01
+    workload: str = "crowdsensing"
+    sensing_tasks: int = 4
     seed: int = 7
     udp_host: str = "127.0.0.1"
     engine: str = "des"
@@ -391,6 +399,8 @@ class LoadTestConfig:
             disclosure_delay=self.disclosure_delay,
             max_offset=self.max_offset,
             attack_burst_fraction=self.attack_burst_fraction,
+            sensing_tasks=self.sensing_tasks,
+            workload=self.workload,
             seed=self.seed + shard,
             engine=self.engine,
         )

@@ -51,6 +51,7 @@ from repro.crypto.onewayfn import OneWayFunction
 from repro.crypto.pebbled import PebbledKeyChain, pebble_bound
 from repro.errors import ConfigurationError, ReproError
 from repro.perf import collecting
+from repro.scenarios import get_scenario
 from repro.sim.scenario import ScenarioConfig, run_scenario
 
 __all__ = [
@@ -63,27 +64,11 @@ __all__ = [
 ]
 
 #: Scenario presets shared by ``repro bench`` and ``repro profile``.
-#: ``fig5`` is the paper's Fig. 5 operating point: DAP under a 50%
-#: flooding attack on a lossy channel.
+#: Both are registered catalog entries now (``repro scenarios describe
+#: fig5-t2``); the bench keeps its historical short names as aliases.
 SCENARIO_PRESETS: Dict[str, ScenarioConfig] = {
-    "fig5": ScenarioConfig(
-        protocol="dap",
-        intervals=40,
-        receivers=5,
-        buffers=4,
-        attack_fraction=0.5,
-        loss_probability=0.1,
-        seed=7,
-    ),
-    "smoke": ScenarioConfig(
-        protocol="dap",
-        intervals=12,
-        receivers=3,
-        buffers=4,
-        attack_fraction=0.5,
-        loss_probability=0.1,
-        seed=7,
-    ),
+    "fig5": get_scenario("fig5-t2").config,
+    "smoke": get_scenario("smoke-t2").config,
 }
 
 #: Bench sizing presets: (one-way ops, walk gap, walk repeats, MAC batch,
@@ -110,47 +95,20 @@ BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
 }
 
 
-#: Sim-suite presets: fig5-style fleets (DAP's Fig. 5 operating point
-#: scaled up to crowd-sized fleets) for both fast-path protocols.
+#: Sim-suite presets: the fig5-t2 catalog entry scaled up to
+#: crowd-sized fleets, for both fast-path protocols.
+_FIG5 = get_scenario("fig5-t2").config
 SIM_BENCH_PRESETS: Dict[str, Dict[str, ScenarioConfig]] = {
     "smoke": {
-        "fleet_dap": ScenarioConfig(
-            protocol="dap",
-            intervals=20,
-            receivers=50,
-            buffers=4,
-            attack_fraction=0.5,
-            loss_probability=0.1,
-            seed=7,
-        ),
-        "fleet_tesla_pp": ScenarioConfig(
-            protocol="tesla_pp",
-            intervals=20,
-            receivers=50,
-            buffers=4,
-            attack_fraction=0.5,
-            loss_probability=0.1,
-            seed=7,
+        "fleet_dap": dataclasses.replace(_FIG5, intervals=20, receivers=50),
+        "fleet_tesla_pp": dataclasses.replace(
+            _FIG5, protocol="tesla_pp", intervals=20, receivers=50
         ),
     },
     "full": {
-        "fleet_dap": ScenarioConfig(
-            protocol="dap",
-            intervals=40,
-            receivers=100,
-            buffers=4,
-            attack_fraction=0.5,
-            loss_probability=0.1,
-            seed=7,
-        ),
-        "fleet_tesla_pp": ScenarioConfig(
-            protocol="tesla_pp",
-            intervals=40,
-            receivers=100,
-            buffers=4,
-            attack_fraction=0.5,
-            loss_probability=0.1,
-            seed=7,
+        "fleet_dap": dataclasses.replace(_FIG5, receivers=100),
+        "fleet_tesla_pp": dataclasses.replace(
+            _FIG5, protocol="tesla_pp", receivers=100
         ),
     },
 }

@@ -1,0 +1,84 @@
+"""``repro.scenarios``: the scenario catalog subsystem.
+
+Four pieces (docs/API.md has the full tour):
+
+* :mod:`~repro.scenarios.families` — the canonical protocol-family /
+  engine / workload tables every layer shares.
+* :mod:`~repro.scenarios.registry` + :mod:`~repro.scenarios.catalog` —
+  immutable :class:`ScenarioDescriptor` entries behind the
+  :func:`register_scenario` decorator; the built-in catalog loads
+  lazily on first lookup.
+* :mod:`~repro.scenarios.tiers` — composable difficulty tiers T0–T3
+  (attack schedule, channel shocks, defender latitude).
+* :mod:`~repro.scenarios.generator` + :mod:`~repro.scenarios.contract`
+  — seeded batch generation with content-addressed names, and the
+  per-scenario dual-engine replay contract.
+
+Importing this package never imports :mod:`repro.sim`: only the lazy
+catalog load (and the generator/contract run paths) touch the
+simulator, so the registry stays cheap and cycle-free.
+"""
+
+from repro.scenarios.contract import (
+    ContractReport,
+    validate_catalog,
+    validate_scenario,
+)
+from repro.scenarios.families import (
+    ALL_PROTOCOLS,
+    ENGINES,
+    MULTI_LEVEL,
+    NET_PROTOCOLS,
+    PROTOCOL_FAMILIES,
+    SINGLE_LEVEL,
+    TIER_NAMES,
+    TWO_PHASE,
+    VECTORIZED_PROTOCOLS,
+    WORKLOADS,
+    family_of,
+    protocols_in_family,
+)
+from repro.scenarios.generator import (
+    GeneratorSpec,
+    generate_scenarios,
+    generated_name,
+)
+from repro.scenarios.registry import (
+    ScenarioDescriptor,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.scenarios.tiers import TIERS, TierSpec, tier
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "ContractReport",
+    "ENGINES",
+    "GeneratorSpec",
+    "MULTI_LEVEL",
+    "NET_PROTOCOLS",
+    "PROTOCOL_FAMILIES",
+    "ScenarioDescriptor",
+    "SINGLE_LEVEL",
+    "TIER_NAMES",
+    "TIERS",
+    "TWO_PHASE",
+    "TierSpec",
+    "VECTORIZED_PROTOCOLS",
+    "WORKLOADS",
+    "family_of",
+    "generate_scenarios",
+    "generated_name",
+    "get_scenario",
+    "list_scenarios",
+    "protocols_in_family",
+    "register_scenario",
+    "scenario_names",
+    "tier",
+    "unregister_scenario",
+    "validate_catalog",
+    "validate_scenario",
+]

@@ -1,0 +1,156 @@
+"""The per-scenario validation/replay contract.
+
+Every registered scenario promises two things:
+
+1. **Replay determinism** — running it twice at the same seed on the
+   same engine produces byte-identical summaries.
+2. **Engine agreement** — every engine it declares produces the
+   *identical* summary at equal seeds (the vectorized fleet engine's
+   exactness contract, now enforced per catalog entry rather than per
+   bench preset). Scenarios that declare only ``des`` carry an
+   explicit ``engine_exclusion`` reason instead — validated here, so
+   "we never said it worked" is impossible.
+
+:func:`validate_scenario` checks one descriptor, :func:`validate_catalog`
+sweeps the registry; both power ``repro scenarios validate`` and the
+``scenario-contracts`` CI job, and the same checks run in tier-1 via
+``tests/scenarios/test_contract.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenarios.registry import (
+    ScenarioDescriptor,
+    get_scenario,
+    list_scenarios,
+)
+
+if TYPE_CHECKING:  # runtime sim imports stay lazy: see registry docs
+    from repro.sim.scenario import ScenarioResult
+
+__all__ = ["ContractReport", "validate_scenario", "validate_catalog"]
+
+
+@dataclass(frozen=True)
+class ContractReport:
+    """The outcome of validating one scenario's contract.
+
+    Attributes:
+        name: the scenario validated.
+        engines: engines the scenario declares.
+        seeds: seeds replayed.
+        comparisons: engine-summary comparisons performed (replay pairs
+            plus cross-engine pairs).
+        mismatches: human-readable descriptions of every divergence.
+        engine_exclusion: the declared reason when ``vectorized`` is
+            not contracted.
+        passed: True iff no mismatches.
+    """
+
+    name: str
+    engines: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    comparisons: int
+    mismatches: Tuple[str, ...]
+    engine_exclusion: Optional[str]
+    passed: bool
+
+
+def _summary(result: "ScenarioResult") -> Tuple[object, ...]:
+    """The comparable fingerprint of a scenario run.
+
+    ``nodes`` is excluded deliberately: the DES returns live node
+    objects, the fleet engine returns ``()`` — the *summaries* are the
+    contract.
+    """
+    return (
+        result.fleet,
+        result.sent_authentic,
+        result.forged_bandwidth_fraction,
+        result.simulated_seconds,
+    )
+
+
+def validate_scenario(
+    descriptor: ScenarioDescriptor,
+    seeds: Optional[Sequence[int]] = None,
+) -> ContractReport:
+    """Replay ``descriptor`` on every declared engine and compare.
+
+    Args:
+        descriptor: the scenario to validate.
+        seeds: override the descriptor's canonical seeds (e.g. a single
+            seed for a quick check).
+
+    For each seed, the reference engine (``des``) runs twice — the
+    replay-determinism half of the contract — and every other declared
+    engine runs once and must match the reference byte-for-byte.
+    """
+    # Lazy import: this module is imported by `repro.scenarios` before
+    # repro.sim is necessarily initialised (see registry module docs).
+    from dataclasses import replace
+
+    from repro.sim.scenario import run_scenario
+
+    chosen = tuple(seeds) if seeds is not None else descriptor.seeds
+    if not chosen:
+        raise ConfigurationError("seeds must be non-empty")
+    mismatches: List[str] = []
+    comparisons = 0
+    for seed in chosen:
+        reference = _summary(
+            run_scenario(replace(descriptor.config, seed=seed, engine="des"))
+        )
+        replay = _summary(
+            run_scenario(replace(descriptor.config, seed=seed, engine="des"))
+        )
+        comparisons += 1
+        if replay != reference:
+            mismatches.append(
+                f"seed {seed}: des replay diverged from itself —"
+                " the scenario is not deterministic"
+            )
+        for engine in descriptor.engines:
+            if engine == "des":
+                continue
+            other = _summary(
+                run_scenario(
+                    replace(descriptor.config, seed=seed, engine=engine)
+                )
+            )
+            comparisons += 1
+            if other != reference:
+                mismatches.append(
+                    f"seed {seed}: engine {engine!r} summary diverged"
+                    " from the des reference"
+                )
+    return ContractReport(
+        name=descriptor.name,
+        engines=descriptor.engines,
+        seeds=chosen,
+        comparisons=comparisons,
+        mismatches=tuple(mismatches),
+        engine_exclusion=descriptor.engine_exclusion,
+        passed=not mismatches,
+    )
+
+
+def validate_catalog(
+    names: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[ContractReport]:
+    """Validate every (or the named) registered scenario, name order."""
+    if names:
+        descriptors = [get_scenario(name) for name in names]
+    else:
+        descriptors = list_scenarios()
+    if not descriptors:
+        raise ConfigurationError("no scenarios registered to validate")
+    return [
+        validate_scenario(descriptor, seeds=seeds)
+        for descriptor in descriptors
+    ]

@@ -1,0 +1,112 @@
+"""Canonical protocol-family, engine and workload tables.
+
+This module is the single source of truth for "which protocol belongs
+to which family", "which engines exist and what they cover", and
+"which workload families a scenario can drive". Every layer that used
+to keep its own copy — :mod:`repro.sim.scenario`'s ``_TWO_PHASE`` /
+``_SINGLE_LEVEL`` / ``_MULTI_LEVEL`` tuples, :mod:`repro.sim.fleet`'s
+``SUPPORTED_PROTOCOLS``, :mod:`repro.net.harness`'s ``_NET_PROTOCOLS``,
+the CLI's hand-rolled ``choices=`` tuples — now imports from here, and
+the docstring table in :mod:`repro.sim.scenario` is checked against
+:data:`PROTOCOL_FAMILIES` by ``tests/scenarios/test_families.py``.
+
+Deliberately a leaf: it imports nothing from :mod:`repro.sim` or
+:mod:`repro.protocols`, so both those layers (and the scenario
+registry above them) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FAMILY_TWO_PHASE",
+    "FAMILY_SINGLE_LEVEL",
+    "FAMILY_MULTI_LEVEL",
+    "PROTOCOL_FAMILIES",
+    "ALL_PROTOCOLS",
+    "TWO_PHASE",
+    "SINGLE_LEVEL",
+    "MULTI_LEVEL",
+    "ENGINES",
+    "VECTORIZED_PROTOCOLS",
+    "NET_PROTOCOLS",
+    "WORKLOADS",
+    "TIER_NAMES",
+    "family_of",
+    "protocols_in_family",
+]
+
+#: Protocol-family names (the rows of the paper's protocol lineage).
+FAMILY_TWO_PHASE = "two-phase"
+FAMILY_SINGLE_LEVEL = "single-level"
+FAMILY_MULTI_LEVEL = "multi-level"
+
+#: Protocol name -> family. Insertion order is the canonical display
+#: order (the order of the table in :mod:`repro.sim.scenario`).
+PROTOCOL_FAMILIES: Dict[str, str] = {
+    "dap": FAMILY_TWO_PHASE,
+    "tesla_pp": FAMILY_TWO_PHASE,
+    "tesla": FAMILY_SINGLE_LEVEL,
+    "mu_tesla": FAMILY_SINGLE_LEVEL,
+    "multilevel": FAMILY_MULTI_LEVEL,
+    "eftp": FAMILY_MULTI_LEVEL,
+    "edrp": FAMILY_MULTI_LEVEL,
+}
+
+
+def protocols_in_family(family: str) -> Tuple[str, ...]:
+    """Every protocol name in ``family``, in canonical order."""
+    members = tuple(
+        name for name, fam in PROTOCOL_FAMILIES.items() if fam == family
+    )
+    if not members:
+        known = sorted({fam for fam in PROTOCOL_FAMILIES.values()})
+        raise ConfigurationError(
+            f"unknown protocol family {family!r}; pick one of {known}"
+        )
+    return members
+
+
+def family_of(protocol: str) -> str:
+    """The family of ``protocol`` (raises with the valid names)."""
+    try:
+        return PROTOCOL_FAMILIES[protocol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; pick one of {ALL_PROTOCOLS}"
+        ) from None
+
+
+#: Every protocol name, canonical order.
+ALL_PROTOCOLS: Tuple[str, ...] = tuple(PROTOCOL_FAMILIES)
+
+TWO_PHASE: Tuple[str, ...] = protocols_in_family(FAMILY_TWO_PHASE)
+SINGLE_LEVEL: Tuple[str, ...] = protocols_in_family(FAMILY_SINGLE_LEVEL)
+MULTI_LEVEL: Tuple[str, ...] = protocols_in_family(FAMILY_MULTI_LEVEL)
+
+#: Scenario engines: the discrete-event simulator, or the
+#: array-structured fast path in :mod:`repro.sim.fleet`.
+ENGINES: Tuple[str, ...] = ("des", "vectorized")
+
+#: Protocols the vectorized fleet engine covers today (the paper's §IV
+#: two-phase family; ROADMAP item 1 grows this set).
+VECTORIZED_PROTOCOLS: Tuple[str, ...] = TWO_PHASE
+
+#: Protocols the live testbed (:mod:`repro.net`) can drive: the wire
+#: codec covers every family, the daemon builders only the two-phase.
+NET_PROTOCOLS: Tuple[str, ...] = TWO_PHASE
+
+#: Workload families a :class:`~repro.sim.scenario.ScenarioConfig` can
+#: name: the paper's crowdsensing campaign, DoS-resilient vehicular
+#: safety beacons with cooperative neighbor verification (Jin &
+#: Papadimitratos), and TESLA-authenticated UAS Remote ID broadcast
+#: (TBRD). Builders live in :mod:`repro.sim.workloads`.
+WORKLOADS: Tuple[str, ...] = ("crowdsensing", "vehicular-beacon", "remote-id")
+
+#: Canonical difficulty tiers, mildest first. The specs live in
+#: :mod:`repro.scenarios.tiers`; the names are declared here so leaf
+#: consumers can validate without importing the tier machinery.
+TIER_NAMES: Tuple[str, ...] = ("T0", "T1", "T2", "T3")

@@ -1,0 +1,182 @@
+"""Seeded programmatic scenario generation.
+
+A :class:`GeneratorSpec` expands a registered base scenario into a
+deterministic batch of variants — a full grid or a seeded random
+sample over config axes (fleet size, attack level, loss regime, ...).
+Generated names are *content-addressed*: the name embeds a
+:func:`~repro.engine.hashing.stable_key` prefix of the variant's
+config, so the same spec always mints the same names, two specs that
+produce the same config collide onto one name (and one registry
+entry), and :class:`~repro.engine.cache.ResultCache` keys — which hash
+the config itself — stay stable however the batch is regenerated.
+
+Example::
+
+    spec = GeneratorSpec(
+        base="fig5-t2",
+        axes=(
+            ("receivers", (5, 50, 500)),
+            ("attack_fraction", (0.2, 0.5, 0.8)),
+        ),
+    )
+    batch = generate_scenarios(spec, register=True)   # 9 descriptors
+
+Random mode draws ``samples`` combinations from the same axes with a
+seeded RNG (duplicates collapse via content addressing)::
+
+    spec = GeneratorSpec(base="fig5-t2", axes=..., mode="random",
+                         samples=16, seed=3)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Tuple
+
+from repro.engine.hashing import stable_key
+from repro.errors import ConfigurationError
+from repro.scenarios.families import VECTORIZED_PROTOCOLS
+from repro.scenarios.registry import (
+    ScenarioDescriptor,
+    _register,
+    get_scenario,
+)
+
+__all__ = ["GeneratorSpec", "generate_scenarios", "generated_name"]
+
+#: Hex digits of the config's stable key folded into a generated name.
+_NAME_DIGEST_CHARS = 12
+
+_MODES = ("grid", "random")
+
+
+# reprolint: cache-keyed
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """A deterministic scenario batch, declaratively.
+
+    Attributes:
+        base: name of the registered scenario the batch varies.
+        axes: ``(field, values)`` pairs — each field a
+            :class:`~repro.sim.scenario.ScenarioConfig` field, each
+            values tuple non-empty. Grid mode takes the full cross
+            product in axes-major order; random mode draws one value
+            per axis per sample.
+        mode: ``"grid"`` (default) or ``"random"``.
+        samples: random mode only — combinations to draw (>= 1).
+        seed: random mode only — the draw seed.
+    """
+
+    base: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+    mode: str = "grid"
+    samples: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigurationError(
+                f"generator mode must be one of {_MODES}, got {self.mode!r}"
+            )
+        if not self.axes:
+            raise ConfigurationError("generator axes must be non-empty")
+        seen = set()
+        for field_name, values in self.axes:
+            if field_name in seen:
+                raise ConfigurationError(
+                    f"generator axis {field_name!r} appears twice"
+                )
+            seen.add(field_name)
+            if not values:
+                raise ConfigurationError(
+                    f"generator axis {field_name!r} has no values"
+                )
+        if self.mode == "random" and self.samples < 1:
+            raise ConfigurationError(
+                f"random mode needs samples >= 1, got {self.samples}"
+            )
+
+
+def generated_name(base: str, config: Any) -> str:
+    """The content-addressed catalog name for a generated variant."""
+    return f"{base}-gen-{stable_key(config)[:_NAME_DIGEST_CHARS]}"
+
+
+def _combinations(spec: GeneratorSpec) -> List[Dict[str, Any]]:
+    """The axis-value combinations ``spec`` describes, in order."""
+    if spec.mode == "grid":
+        combos: List[Dict[str, Any]] = [{}]
+        for field_name, values in spec.axes:
+            combos = [
+                {**combo, field_name: value}
+                for combo in combos
+                for value in values
+            ]
+        return combos
+    rng = random.Random(spec.seed)
+    return [
+        {field_name: rng.choice(values) for field_name, values in spec.axes}
+        for _ in range(spec.samples)
+    ]
+
+
+def generate_scenarios(
+    spec: GeneratorSpec, register: bool = False
+) -> Tuple[ScenarioDescriptor, ...]:
+    """Expand ``spec`` into descriptors (optionally registering them).
+
+    Variants inherit the base scenario's tier, seeds and engine
+    declarations; a variant whose axes move the protocol off the
+    vectorized fast path automatically drops the ``vectorized``
+    declaration and records why. Content-addressed duplicates (random
+    mode, or axes that include the base point) collapse to one
+    descriptor; registration is idempotent for identical definitions.
+    """
+    # Lazy: keeps `import repro.scenarios` free of repro.sim imports.
+    import dataclasses
+
+    from repro.sim.scenario import ScenarioConfig
+
+    base = get_scenario(spec.base)
+    known_fields = {field.name for field in dataclasses.fields(ScenarioConfig)}
+    for field_name, _ in spec.axes:
+        if field_name not in known_fields:
+            raise ConfigurationError(
+                f"generator axis {field_name!r} is not a ScenarioConfig"
+                " field"
+            )
+
+    descriptors: Dict[str, ScenarioDescriptor] = {}
+    for combo in _combinations(spec):
+        config = replace(base.config, **combo)
+        name = generated_name(spec.base, config)
+        if name in descriptors:
+            continue  # content-addressed duplicate
+        engines = base.engines
+        exclusion = base.engine_exclusion
+        if (
+            "vectorized" in engines
+            and config.protocol not in VECTORIZED_PROTOCOLS
+        ):
+            engines = tuple(e for e in engines if e != "vectorized")
+            exclusion = (
+                f"generated protocol {config.protocol!r} is outside the"
+                f" vectorized fast path {VECTORIZED_PROTOCOLS}"
+            )
+        knobs = ", ".join(f"{k}={combo[k]}" for k, _ in spec.axes)
+        descriptor = ScenarioDescriptor(
+            name=name,
+            family=config.workload,
+            tier=base.tier,
+            engines=engines,
+            seeds=base.seeds,
+            config=config,
+            provenance=f"generated from {spec.base!r} ({spec.mode}: {knobs})",
+            engine_exclusion=exclusion,
+            generated=True,
+        )
+        if register:
+            descriptor = _register(descriptor)
+        descriptors[name] = descriptor
+    return tuple(descriptors.values())

@@ -1,0 +1,142 @@
+"""Canonical difficulty tiers T0-T3.
+
+A tier is the *situation* a scenario puts the defense in: how hard the
+flood presses (attack intensity and how tightly it is packed into each
+interval), what the channel does (steady thinning vs Gilbert-Elliott
+fade shocks), and how much latitude the defender has (a fixed ``m`` vs
+Algorithm-3 re-optimisation allowed). Tiers are composable: a
+:class:`TierSpec` applied to any base :class:`ScenarioConfig` yields
+the same config with the tier's situational knobs swapped in, leaving
+protocol, sizing and seed untouched — which is what lets one workload
+preset appear in the catalog at several difficulties.
+
+========  =======  ========  ============  ==================
+tier      attack   loss      fade shocks   defender latitude
+========  =======  ========  ============  ==================
+T0        0.0      0.0       none          fixed m
+T1        0.2      0.02      none          fixed m
+T2        0.5      0.10      none          fixed m
+T3        0.8      0.20      mean burst 4  re-optimisation
+========  =======  ========  ============  ==================
+
+T2 is the paper's Fig. 5 operating point; T3 is the hostile regime the
+evolutionary game was built for (p = 0.8, the Fig. 6-8 setting), with
+channel shocks on top. ``defender_latitude`` is advisory metadata for
+the adaptive layer (:mod:`repro.sim.adaptive`, ROADMAP item 2): the
+static scenario engines run whatever ``buffers`` the config carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenarios.families import TIER_NAMES
+
+if TYPE_CHECKING:  # no runtime repro.sim import: keeps this module a leaf
+    from repro.sim.scenario import ScenarioConfig
+
+__all__ = ["TierSpec", "TIERS", "tier"]
+
+#: Defender-latitude vocabulary.
+FIXED_M = "fixed-m"
+REOPTIMIZE = "reoptimize"
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One difficulty tier: attack schedule, channel shocks, latitude.
+
+    Attributes:
+        name: tier name (``T0`` .. ``T3``).
+        attack_fraction: the game's ``p`` — forged share of bandwidth.
+        attack_burst_fraction: leading fraction of each interval the
+            flood is packed into (smaller = burstier shocks).
+        loss_probability: average per-delivery channel loss.
+        loss_mean_burst: when set, losses arrive as Gilbert-Elliott
+            fades with this mean length — the tier's channel shock.
+        defender_latitude: ``"fixed-m"`` (the config's ``buffers`` is
+            binding) or ``"reoptimize"`` (the adaptive layer may re-run
+            Algorithm 3 and resize live).
+        description: one-line situational summary.
+    """
+
+    name: str
+    attack_fraction: float
+    attack_burst_fraction: float
+    loss_probability: float
+    loss_mean_burst: Optional[float]
+    defender_latitude: str
+    description: str
+
+    def apply(self, config: "ScenarioConfig") -> "ScenarioConfig":
+        """``config`` with this tier's situational knobs swapped in."""
+        return replace(
+            config,
+            attack_fraction=self.attack_fraction,
+            attack_burst_fraction=self.attack_burst_fraction,
+            loss_probability=self.loss_probability,
+            loss_mean_burst=self.loss_mean_burst,
+        )
+
+    @property
+    def allows_reoptimization(self) -> bool:
+        """Whether the defender may re-run Algorithm 3 mid-scenario."""
+        return self.defender_latitude == REOPTIMIZE
+
+
+#: The canonical tier catalog, mildest first.
+TIERS: Dict[str, TierSpec] = {
+    "T0": TierSpec(
+        name="T0",
+        attack_fraction=0.0,
+        attack_burst_fraction=0.25,
+        loss_probability=0.0,
+        loss_mean_burst=None,
+        defender_latitude=FIXED_M,
+        description="benign: no flood, clean channel",
+    ),
+    "T1": TierSpec(
+        name="T1",
+        attack_fraction=0.2,
+        attack_burst_fraction=0.25,
+        loss_probability=0.02,
+        loss_mean_burst=None,
+        defender_latitude=FIXED_M,
+        description="probing: light flood (p=0.2), near-clean channel",
+    ),
+    "T2": TierSpec(
+        name="T2",
+        attack_fraction=0.5,
+        attack_burst_fraction=0.25,
+        loss_probability=0.1,
+        loss_mean_burst=None,
+        defender_latitude=FIXED_M,
+        description="sustained: the paper's Fig. 5 operating point"
+        " (p=0.5, 10% loss)",
+    ),
+    "T3": TierSpec(
+        name="T3",
+        attack_fraction=0.8,
+        attack_burst_fraction=0.125,
+        loss_probability=0.2,
+        loss_mean_burst=4.0,
+        defender_latitude=REOPTIMIZE,
+        description="storm: the game's hostile regime (p=0.8) under"
+        " bursty Gilbert-Elliott fades; Algorithm-3 re-optimisation"
+        " allowed",
+    ),
+}
+
+assert tuple(TIERS) == TIER_NAMES  # families.py declares the names
+
+
+def tier(name: str) -> TierSpec:
+    """The :class:`TierSpec` named ``name`` (raises with valid names)."""
+    try:
+        return TIERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown tier {name!r}; pick one of {TIER_NAMES}"
+        ) from None

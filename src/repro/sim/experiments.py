@@ -29,6 +29,7 @@ __all__ = [
     "RepeatedResult",
     "run_scenarios",
     "run_repeated",
+    "run_registered",
     "SweepCell",
     "run_config_sweep",
 ]
@@ -153,6 +154,36 @@ def run_repeated(
         task_labels=tuple(f"seed={seed}" for seed in seeds),
     )
     return _aggregate(config, results, confidence)
+
+
+def run_registered(
+    name: str,
+    seeds: Optional[Sequence[int]] = None,
+    confidence: float = 0.95,
+    executor: Optional[Executor] = None,
+    cache: Optional[ResultCache] = None,
+) -> RepeatedResult:
+    """Run a registered catalog scenario across its canonical seeds.
+
+    The experiment-layer bridge to :mod:`repro.scenarios`: look the
+    name up in the registry, run one repetition per seed (the
+    descriptor's canonical seeds unless ``seeds`` overrides them) on
+    the engine the descriptor's config names, and aggregate exactly as
+    :func:`run_repeated` does. Because descriptors carry frozen
+    configs, ``cache`` hits persist across processes and sessions.
+    """
+    # Lazy import: repro.scenarios lazily imports repro.sim for its
+    # catalog; keeping the reverse edge function-local avoids a cycle.
+    from repro.scenarios import get_scenario
+
+    descriptor = get_scenario(name)
+    return run_repeated(
+        descriptor.config,
+        seeds if seeds is not None else descriptor.seeds,
+        confidence=confidence,
+        executor=executor,
+        cache=cache,
+    )
 
 
 @dataclass(frozen=True)

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,12 +61,18 @@ from repro.sim.channel import (
     gilbert_elliott_drop_mask,
 )
 from repro.sim.metrics import fleet_summary_from_arrays
+from repro.scenarios.families import VECTORIZED_PROTOCOLS
 from repro.sim.scenario import (
     ScenarioConfig,
     ScenarioResult,
     _seed_bytes,
 )
-from repro.sim.workloads import CrowdsensingWorkload
+from repro.sim.workloads import (
+    CrowdsensingWorkload,
+    RemoteIdWorkload,
+    VehicularBeaconWorkload,
+    workload_for,
+)
 from repro.timesync.intervals import IntervalSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
@@ -77,8 +83,13 @@ __all__ = [
     "EquivalenceReport",
 ]
 
-#: Protocols the vectorized fast path covers (the paper's §IV family).
-SUPPORTED_PROTOCOLS = ("dap", "tesla_pp")
+#: Protocols the vectorized fast path covers (the paper's §IV family) —
+#: the canonical table lives in :mod:`repro.scenarios.families`.
+SUPPORTED_PROTOCOLS = VECTORIZED_PROTOCOLS
+
+#: Workload union the timeline builder accepts (anything exposing
+#: ``report_for`` and ``distinct_sources``).
+_Workload = Union[CrowdsensingWorkload, VehicularBeaconWorkload, RemoteIdWorkload]
 
 #: Bound on the weak-authentication key-walk gap — must match
 #: ``TwoPhaseReceiverCore``'s ``max_key_gap`` default.
@@ -119,7 +130,7 @@ class _Timeline:
 def _build_timeline(
     config: ScenarioConfig,
     schedule: IntervalSchedule,
-    workload: CrowdsensingWorkload,
+    workload: _Workload,
     attacker_rng: random.Random,
 ) -> _Timeline:
     """Lay out every broadcast in DES event order.
@@ -139,7 +150,10 @@ def _build_timeline(
         message_for=workload.report_for,
     )
     announce_block = config.packets_per_interval * config.announce_copies
-    num_tasks = config.sensing_tasks
+    # The workload's report cycle period, NOT config.sensing_tasks:
+    # payload identity is what the DES's receivers actually compare, so
+    # the grouping must follow the workload's own modulus.
+    num_tasks = workload.distinct_sources
     duration = schedule.duration
     entries: List[Tuple[float, int, int, int]] = []
     announce_macs: Dict[Tuple[int, int], bytes] = {}
@@ -246,7 +260,7 @@ def run_fleet_scenario(config: ScenarioConfig) -> ScenarioResult:
     medium_rng = random.Random(rng.getrandbits(64))
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
-    workload = CrowdsensingWorkload(num_tasks=config.sensing_tasks, seed=config.seed)
+    workload = workload_for(config)
     condition = SecurityCondition(schedule, sync, config.disclosure_delay)
     receiver_seeds = [rng.getrandbits(64) for _ in range(config.receivers)]
     # run_scenario draws the attacker seed only when the attack is on.

@@ -52,7 +52,15 @@ from repro.sim.events import Simulator
 from repro.sim.medium import BroadcastMedium, LinkQuality
 from repro.sim.metrics import FleetSummary, summarise_nodes
 from repro.sim.nodes import ReceiverNode, SenderNode
-from repro.sim.workloads import CrowdsensingWorkload
+from repro.scenarios.families import (
+    ALL_PROTOCOLS,
+    ENGINES,
+    MULTI_LEVEL,
+    SINGLE_LEVEL,
+    TWO_PHASE,
+    WORKLOADS,
+)
+from repro.sim.workloads import workload_for
 from repro.timesync.intervals import IntervalSchedule, TwoLevelSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
@@ -63,14 +71,13 @@ __all__ = [
     "build_two_phase_protocol",
 ]
 
-_TWO_PHASE = ("dap", "tesla_pp")
-_SINGLE_LEVEL = ("tesla", "mu_tesla")
-_MULTI_LEVEL = ("multilevel", "eftp", "edrp")
-
-#: Scenario engines: the discrete-event simulator, or the array-
-#: structured fast path in :mod:`repro.sim.fleet` (two-phase family;
-#: other families fall back to the DES automatically).
-_ENGINES = ("des", "vectorized")
+# The canonical protocol/family/engine tables live in
+# repro.scenarios.families; these aliases keep the historical private
+# names working for in-module use.
+_TWO_PHASE = TWO_PHASE
+_SINGLE_LEVEL = SINGLE_LEVEL
+_MULTI_LEVEL = MULTI_LEVEL
+_ENGINES = ENGINES
 
 
 @dataclass(frozen=True)
@@ -100,7 +107,11 @@ class ScenarioConfig:
         attack_burst_fraction: leading fraction of each interval the
             flood is packed into (see
             :class:`~repro.sim.attacker.FloodingAttacker`).
-        sensing_tasks: workload richness.
+        sensing_tasks: workload richness — distinct sources (sensing
+            tasks, vehicles or aircraft depending on ``workload``).
+        workload: workload family, one of
+            :data:`~repro.scenarios.families.WORKLOADS`
+            (builders in :mod:`repro.sim.workloads`).
         seed: master seed (crypto seeds, channel loss, reservoirs).
         engine: ``"des"`` (event-driven reference) or ``"vectorized"``
             (:mod:`repro.sim.fleet` array engine; identical summaries
@@ -125,18 +136,23 @@ class ScenarioConfig:
     cdm_copies: int = 4
     attack_burst_fraction: float = 0.25
     sensing_tasks: int = 4
+    workload: str = "crowdsensing"
     seed: int = 7
     engine: str = "des"
 
     def __post_init__(self) -> None:
-        known = _TWO_PHASE + _SINGLE_LEVEL + _MULTI_LEVEL
-        if self.protocol not in known:
+        if self.protocol not in ALL_PROTOCOLS:
             raise ConfigurationError(
-                f"unknown protocol {self.protocol!r}; pick one of {known}"
+                f"unknown protocol {self.protocol!r}; pick one of"
+                f" {ALL_PROTOCOLS}"
             )
         if self.engine not in _ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; pick one of {_ENGINES}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; pick one of {WORKLOADS}"
             )
         if self.intervals < 3:
             raise ConfigurationError(f"intervals must be >= 3, got {self.intervals}")
@@ -360,7 +376,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     medium = BroadcastMedium(simulator, rng=random.Random(rng.getrandbits(64)))
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
-    workload = CrowdsensingWorkload(num_tasks=config.sensing_tasks, seed=config.seed)
+    workload = workload_for(config)
 
     if config.protocol in _TWO_PHASE:
         condition = SecurityCondition(schedule, sync, config.disclosure_delay)

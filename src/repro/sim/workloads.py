@@ -1,29 +1,93 @@
-"""Crowdsensing workload generation.
+"""Workload generation for the broadcast-authentication scenarios.
 
 No public trace exists for the paper's MCN setting, so workloads are
-synthesised (see DESIGN.md substitutions): a fleet of sensing tasks on
-a grid, each producing one reading per interval. Reports are packed
-into the 200-bit message format the paper's accounting assumes, with a
-real encode/decode round trip so examples can show end-to-end payloads
-rather than opaque random bytes.
+synthesised (see DESIGN.md substitutions). Three families exist,
+matching :data:`repro.scenarios.families.WORKLOADS`:
+
+* :class:`CrowdsensingWorkload` — the paper's setting: a fleet of
+  sensing tasks on a grid, one reading per interval.
+* :class:`VehicularBeaconWorkload` — DoS-resilient vehicular safety
+  beacons after Jin & Papadimitratos: periodic position/speed beacons
+  with a cooperative-verification flag.
+* :class:`RemoteIdWorkload` — TESLA-authenticated UAS Remote ID
+  broadcast (TBRD): aircraft position reports with an emergency bit.
+
+Every family packs its reports into the 200-bit message format the
+paper's accounting assumes (:data:`~repro.protocols.messages.MESSAGE_BYTES`),
+with a real encode/decode round trip so examples can show end-to-end
+payloads rather than opaque random bytes. :func:`workload_for` is the
+single construction point scenarios, the fleet engine and the live
+testbed all share.
 """
 
 from __future__ import annotations
 
+import math
 import random
 import struct
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.crypto.kernels import sha256_digest
 from repro.errors import ConfigurationError
 from repro.protocols.messages import MESSAGE_BYTES
 
-__all__ = ["SensingTask", "SensorReport", "CrowdsensingWorkload"]
+if TYPE_CHECKING:  # only for the factory signature
+    from repro.sim.scenario import ScenarioConfig
 
-#: Report layout: task_id u32 | interval u32 | reading f64 | pad to 25 B.
+__all__ = [
+    "SensingTask",
+    "SensorReport",
+    "CrowdsensingWorkload",
+    "BeaconReport",
+    "VehicularBeaconWorkload",
+    "RemoteIdReport",
+    "RemoteIdWorkload",
+    "workload_for",
+]
+
+#: Crowdsensing layout: task_id u32 | interval u32 | reading f64 | pad.
 _REPORT_HEADER = struct.Struct(">IId")
 _PAD = MESSAGE_BYTES - _REPORT_HEADER.size
+
+#: Beacon layout: vehicle u32 | interval u32 | x f32 | y f32 | speed f32
+#: | flags u8 | pad.
+_BEACON_HEADER = struct.Struct(">IIfffB")
+_BEACON_PAD = MESSAGE_BYTES - _BEACON_HEADER.size
+
+#: Remote ID layout: aircraft u32 | interval u32 | lat f32 | lon f32 |
+#: flags u8 | pad.
+_RID_HEADER = struct.Struct(">IIffB")
+_RID_PAD = MESSAGE_BYTES - _RID_HEADER.size
+
+_U32_MAX = 2**32 - 1
+
+#: Beacon flags bit: receiver may outsource verification to neighbors.
+_FLAG_COOPERATIVE = 0x01
+#: Remote ID flags bit: emergency status declared.
+_FLAG_EMERGENCY = 0x01
+
+
+def _check_u32(name: str, value: int) -> None:
+    if not 0 <= value <= _U32_MAX:
+        raise ConfigurationError(
+            f"{name} must fit an unsigned 32-bit field, got {value}"
+        )
+
+
+def _check_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+
+
+def _check_payload(payload: bytes, header_size: int, kind: str) -> None:
+    if len(payload) != MESSAGE_BYTES:
+        raise ConfigurationError(
+            f"{kind} must be {MESSAGE_BYTES} bytes, got {len(payload)}"
+        )
+    header = payload[:header_size]
+    if payload[header_size:] != sha256_digest(header)[: MESSAGE_BYTES - header_size]:
+        raise ConfigurationError(f"corrupt {kind} padding")
 
 
 @dataclass(frozen=True)
@@ -44,7 +108,7 @@ class SensingTask:
 
 @dataclass(frozen=True)
 class SensorReport:
-    """A decoded report payload."""
+    """A decoded crowdsensing report payload."""
 
     task_id: int
     interval: int
@@ -52,7 +116,7 @@ class SensorReport:
 
 
 class CrowdsensingWorkload:
-    """Deterministic sensing-task workload.
+    """Deterministic sensing-task workload (the paper's setting).
 
     Args:
         num_tasks: sensing tasks in the campaign.
@@ -89,6 +153,17 @@ class CrowdsensingWorkload:
         """The campaign's sensing tasks."""
         return list(self._tasks)
 
+    @property
+    def distinct_sources(self) -> int:
+        """Distinct payload producers: the report cycle period.
+
+        ``report_for`` cycles tasks with ``copy % distinct_sources``, so
+        two packet slots carry identical payloads iff their slot indices
+        agree modulo this — the invariant the vectorized fleet engine's
+        message-identity grouping relies on.
+        """
+        return len(self._tasks)
+
     def reading(self, interval: int, task_id: int) -> float:
         """Deterministic pseudo-reading for a task at an interval.
 
@@ -117,7 +192,15 @@ class CrowdsensingWorkload:
 
     @staticmethod
     def encode_report(report: SensorReport) -> bytes:
-        """Pack a report into exactly ``MESSAGE_BYTES`` bytes."""
+        """Pack a report into exactly ``MESSAGE_BYTES`` bytes.
+
+        Rejects out-of-range identifiers and non-finite readings — a
+        NaN that round-trips silently would poison downstream
+        aggregation without failing authentication.
+        """
+        _check_u32("task_id", report.task_id)
+        _check_u32("interval", report.interval)
+        _check_finite("reading", report.reading)
         header = _REPORT_HEADER.pack(report.task_id, report.interval, report.reading)
         pad = sha256_digest(header)[:_PAD]
         return header + pad
@@ -125,13 +208,288 @@ class CrowdsensingWorkload:
     @staticmethod
     def decode_report(payload: bytes) -> SensorReport:
         """Unpack a report; validates length and padding integrity."""
-        if len(payload) != MESSAGE_BYTES:
-            raise ConfigurationError(
-                f"report must be {MESSAGE_BYTES} bytes, got {len(payload)}"
-            )
-        header = payload[: _REPORT_HEADER.size]
-        expected_pad = sha256_digest(header)[:_PAD]
-        if payload[_REPORT_HEADER.size :] != expected_pad:
-            raise ConfigurationError("corrupt report padding")
-        task_id, interval, reading = _REPORT_HEADER.unpack(header)
+        _check_payload(payload, _REPORT_HEADER.size, "report")
+        task_id, interval, reading = _REPORT_HEADER.unpack(
+            payload[: _REPORT_HEADER.size]
+        )
         return SensorReport(task_id=task_id, interval=interval, reading=reading)
+
+
+@dataclass(frozen=True)
+class BeaconReport:
+    """A decoded vehicular safety beacon."""
+
+    vehicle_id: int
+    interval: int
+    x: float
+    y: float
+    speed: float
+    cooperative: bool
+
+
+class VehicularBeaconWorkload:
+    """Vehicular safety beacons after Jin & Papadimitratos.
+
+    Each vehicle broadcasts periodic position/speed beacons; the
+    ``cooperative`` knob sets the beacon flag that lets overloaded
+    receivers outsource signature checks to already-verified neighbors
+    (the paper's cooperative-verification defense). Trajectories are
+    deterministic in the seed: straight-line motion from a seeded
+    initial position, heading and speed.
+
+    Args:
+        num_vehicles: vehicles in the platoon.
+        seed: workload seed (initial positions, headings, speeds).
+        cooperative: whether beacons request cooperative verification.
+        beacon_period: seconds between beacons (trajectory step).
+    """
+
+    def __init__(
+        self,
+        num_vehicles: int = 4,
+        seed: int = 1,
+        cooperative: bool = True,
+        beacon_period: float = 0.1,
+    ) -> None:
+        if num_vehicles < 1:
+            raise ConfigurationError(
+                f"num_vehicles must be >= 1, got {num_vehicles}"
+            )
+        if not beacon_period > 0.0:
+            raise ConfigurationError(
+                f"beacon_period must be > 0, got {beacon_period}"
+            )
+        self.cooperative = cooperative
+        self.beacon_period = beacon_period
+        rng = random.Random(seed)
+        # Per-vehicle (x0, y0, heading, speed): a 1 km square, urban
+        # speeds 5-35 m/s.
+        self._vehicles = [
+            (
+                rng.random() * 1000.0,
+                rng.random() * 1000.0,
+                rng.random() * 2.0 * math.pi,
+                5.0 + rng.random() * 30.0,
+            )
+            for _ in range(num_vehicles)
+        ]
+
+    @property
+    def distinct_sources(self) -> int:
+        """Distinct payload producers (see CrowdsensingWorkload)."""
+        return len(self._vehicles)
+
+    def state(self, interval: int, vehicle_id: int) -> Tuple[float, float, float]:
+        """``(x, y, speed)`` of a vehicle at a beacon interval."""
+        if not 0 <= vehicle_id < len(self._vehicles):
+            raise ConfigurationError(f"unknown vehicle_id {vehicle_id}")
+        x0, y0, heading, speed = self._vehicles[vehicle_id]
+        travelled = speed * self.beacon_period * interval
+        return (
+            x0 + travelled * math.cos(heading),
+            y0 + travelled * math.sin(heading),
+            speed,
+        )
+
+    def report_for(self, interval: int, copy: int) -> bytes:
+        """200-bit beacon payload: the ``message_for`` hook for senders."""
+        vehicle_id = copy % len(self._vehicles)
+        x, y, speed = self.state(interval, vehicle_id)
+        return self.encode_report(
+            BeaconReport(
+                vehicle_id=vehicle_id,
+                interval=interval,
+                x=x,
+                y=y,
+                speed=speed,
+                cooperative=self.cooperative,
+            )
+        )
+
+    @staticmethod
+    def encode_report(report: BeaconReport) -> bytes:
+        """Pack a beacon into exactly ``MESSAGE_BYTES`` bytes."""
+        _check_u32("vehicle_id", report.vehicle_id)
+        _check_u32("interval", report.interval)
+        _check_finite("x", report.x)
+        _check_finite("y", report.y)
+        _check_finite("speed", report.speed)
+        flags = _FLAG_COOPERATIVE if report.cooperative else 0
+        header = _BEACON_HEADER.pack(
+            report.vehicle_id, report.interval, report.x, report.y,
+            report.speed, flags,
+        )
+        return header + sha256_digest(header)[:_BEACON_PAD]
+
+    @staticmethod
+    def decode_report(payload: bytes) -> BeaconReport:
+        """Unpack a beacon; validates length and padding integrity.
+
+        Positions and speed come back at f32 precision — the wire
+        format trades precision for fitting the 200-bit budget.
+        """
+        _check_payload(payload, _BEACON_HEADER.size, "beacon")
+        vehicle_id, interval, x, y, speed, flags = _BEACON_HEADER.unpack(
+            payload[: _BEACON_HEADER.size]
+        )
+        return BeaconReport(
+            vehicle_id=vehicle_id,
+            interval=interval,
+            x=x,
+            y=y,
+            speed=speed,
+            cooperative=bool(flags & _FLAG_COOPERATIVE),
+        )
+
+
+@dataclass(frozen=True)
+class RemoteIdReport:
+    """A decoded UAS Remote ID broadcast."""
+
+    aircraft_id: int
+    interval: int
+    latitude: float
+    longitude: float
+    emergency: bool
+
+
+class RemoteIdWorkload:
+    """TESLA-authenticated UAS Remote ID broadcast (TBRD-style).
+
+    Each aircraft broadcasts its position at a fixed cadence; the rare
+    emergency bit is hash-derived so it is deterministic in the seed.
+    Flight paths are slow seeded drifts around a base coordinate.
+
+    Args:
+        num_aircraft: aircraft in the airspace.
+        seed: workload seed (base positions and drift).
+        cadence_hz: broadcasts per second (Remote ID mandates 1 Hz).
+    """
+
+    def __init__(
+        self,
+        num_aircraft: int = 4,
+        seed: int = 1,
+        cadence_hz: float = 1.0,
+    ) -> None:
+        if num_aircraft < 1:
+            raise ConfigurationError(
+                f"num_aircraft must be >= 1, got {num_aircraft}"
+            )
+        if not cadence_hz > 0.0:
+            raise ConfigurationError(
+                f"cadence_hz must be > 0, got {cadence_hz}"
+            )
+        self._seed = seed
+        self.cadence_hz = cadence_hz
+        rng = random.Random(seed)
+        # Per-aircraft (lat0, lon0, dlat, dlon): a small urban airspace
+        # with per-broadcast drift well under general-aviation speeds.
+        self._aircraft = [
+            (
+                37.0 + rng.random(),
+                -122.0 + rng.random(),
+                (rng.random() - 0.5) * 2e-4,
+                (rng.random() - 0.5) * 2e-4,
+            )
+            for _ in range(num_aircraft)
+        ]
+
+    @property
+    def distinct_sources(self) -> int:
+        """Distinct payload producers (see CrowdsensingWorkload)."""
+        return len(self._aircraft)
+
+    def position(self, interval: int, aircraft_id: int) -> Tuple[float, float]:
+        """``(latitude, longitude)`` of an aircraft at an interval."""
+        if not 0 <= aircraft_id < len(self._aircraft):
+            raise ConfigurationError(f"unknown aircraft_id {aircraft_id}")
+        lat0, lon0, dlat, dlon = self._aircraft[aircraft_id]
+        return lat0 + dlat * interval, lon0 + dlon * interval
+
+    def emergency(self, interval: int, aircraft_id: int) -> bool:
+        """Deterministic rare emergency status (hash-derived)."""
+        digest = sha256_digest(
+            b"%d|%d|%d" % (self._seed, aircraft_id, interval),
+            prefix=b"repro.remoteid|",
+        )
+        return digest[0] < 2  # ~0.8% of broadcasts
+
+    def report_for(self, interval: int, copy: int) -> bytes:
+        """200-bit Remote ID payload: the ``message_for`` hook."""
+        aircraft_id = copy % len(self._aircraft)
+        lat, lon = self.position(interval, aircraft_id)
+        return self.encode_report(
+            RemoteIdReport(
+                aircraft_id=aircraft_id,
+                interval=interval,
+                latitude=lat,
+                longitude=lon,
+                emergency=self.emergency(interval, aircraft_id),
+            )
+        )
+
+    @staticmethod
+    def encode_report(report: RemoteIdReport) -> bytes:
+        """Pack a Remote ID broadcast into ``MESSAGE_BYTES`` bytes."""
+        _check_u32("aircraft_id", report.aircraft_id)
+        _check_u32("interval", report.interval)
+        _check_finite("latitude", report.latitude)
+        _check_finite("longitude", report.longitude)
+        flags = _FLAG_EMERGENCY if report.emergency else 0
+        header = _RID_HEADER.pack(
+            report.aircraft_id, report.interval,
+            report.latitude, report.longitude, flags,
+        )
+        return header + sha256_digest(header)[:_RID_PAD]
+
+    @staticmethod
+    def decode_report(payload: bytes) -> RemoteIdReport:
+        """Unpack a Remote ID broadcast; validates length and padding."""
+        _check_payload(payload, _RID_HEADER.size, "remote-id broadcast")
+        aircraft_id, interval, lat, lon, flags = _RID_HEADER.unpack(
+            payload[: _RID_HEADER.size]
+        )
+        return RemoteIdReport(
+            aircraft_id=aircraft_id,
+            interval=interval,
+            latitude=lat,
+            longitude=lon,
+            emergency=bool(flags & _FLAG_EMERGENCY),
+        )
+
+
+def workload_for(
+    config: "ScenarioConfig",
+) -> "CrowdsensingWorkload | VehicularBeaconWorkload | RemoteIdWorkload":
+    """Build the workload a scenario config names.
+
+    The single construction point the DES, the vectorized fleet engine
+    and the live testbed share: all three must agree on payload bytes
+    for the dual-engine contract and the soak-vs-sim replay to hold.
+    ``sensing_tasks`` is the source count for every family (tasks,
+    vehicles, aircraft).
+    """
+    if config.workload == "crowdsensing":
+        return CrowdsensingWorkload(
+            num_tasks=config.sensing_tasks, seed=config.seed
+        )
+    if config.workload == "vehicular-beacon":
+        return VehicularBeaconWorkload(
+            num_vehicles=config.sensing_tasks,
+            seed=config.seed,
+            beacon_period=config.interval_duration,
+        )
+    if config.workload == "remote-id":
+        return RemoteIdWorkload(
+            num_aircraft=config.sensing_tasks,
+            seed=config.seed,
+            cadence_hz=config.packets_per_interval / config.interval_duration,
+        )
+    # Unreachable through ScenarioConfig (validated against WORKLOADS),
+    # but workload_for is also called with hand-built configs in tests.
+    from repro.scenarios.families import WORKLOADS
+
+    raise ConfigurationError(
+        f"unknown workload {config.workload!r}; pick one of {WORKLOADS}"
+    )

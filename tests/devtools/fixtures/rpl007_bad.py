@@ -1,0 +1,26 @@
+"""RPL007 bad fixture: registrations hiding their tier or seeds."""
+
+from repro.scenarios import register_scenario
+from repro.scenarios import registry
+
+_DEFAULTS = {"tier": "T2", "seeds": (7,)}
+
+
+@register_scenario(name="implicit-everything")
+def _no_tier_no_seeds():
+    return None
+
+
+@register_scenario(name="implicit-seeds", tier="T1")
+def _no_seeds():
+    return None
+
+
+@registry.register_scenario(name="implicit-tier", seeds=(7, 11))
+def _no_tier():
+    return None
+
+
+@register_scenario(name="kwargs-smuggled", **_DEFAULTS)
+def _smuggled():
+    return None

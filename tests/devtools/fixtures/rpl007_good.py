@@ -1,0 +1,25 @@
+"""RPL007 good fixture: explicit tier and seeds at every site."""
+
+from repro.scenarios import register_scenario
+from repro.scenarios import registry
+
+
+@register_scenario(name="explicit", tier="T2", seeds=(7, 11))
+def _explicit():
+    return None
+
+
+@registry.register_scenario(
+    name="explicit-attr",
+    tier="T3",
+    seeds=(7,),
+    engines=("des",),
+    engine_exclusion="fixture",
+)
+def _explicit_attr():
+    return None
+
+
+def register_other(name):
+    """A different callable named similarly is not a registration."""
+    return name

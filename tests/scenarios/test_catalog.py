@@ -1,0 +1,61 @@
+"""The built-in catalog: acceptance-level shape assertions.
+
+The ISSUE's floor: >= 12 scenarios spanning all four tiers and at
+least three workload families, paper figures present as entries.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import get_scenario, list_scenarios
+from repro.scenarios.families import TIER_NAMES, WORKLOADS
+
+
+def test_catalog_meets_the_floor():
+    catalog = list_scenarios()
+    assert len(catalog) >= 12
+    assert {d.tier for d in catalog} == set(TIER_NAMES)
+    assert {d.family for d in catalog} == set(WORKLOADS)
+
+
+def test_catalog_names_are_unique_and_sorted():
+    names = [d.name for d in list_scenarios()]
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+
+
+def test_paper_figures_are_catalog_entries():
+    fig5 = get_scenario("fig5-t2")
+    assert fig5.tier == "T2"
+    assert fig5.config.attack_fraction == 0.5
+    assert "Fig. 5" in fig5.provenance
+
+    fig6 = get_scenario("fig6-evolution-t3")
+    fig7 = get_scenario("fig7-optimal-t3")
+    fig8 = get_scenario("fig8-naive-t3")
+    for descriptor in (fig6, fig7, fig8):
+        assert descriptor.tier == "T3"
+        assert descriptor.config.attack_fraction == 0.8
+    # Fig. 7 runs the optimal m* = 13 vs Fig. 8's naive over-buffering.
+    assert fig7.config.buffers == 13
+    assert fig8.config.buffers > fig7.config.buffers
+
+
+def test_every_entry_names_its_seeds_and_tier_knobs():
+    from repro.scenarios.tiers import tier
+
+    for descriptor in list_scenarios():
+        assert descriptor.seeds
+        spec = tier(descriptor.tier)
+        assert descriptor.config.attack_fraction == spec.attack_fraction
+        assert descriptor.config.loss_probability == spec.loss_probability
+
+
+def test_des_only_entries_all_say_why():
+    for descriptor in list_scenarios():
+        if not descriptor.supports_engine("vectorized"):
+            assert descriptor.engine_exclusion, descriptor.name
+
+
+def test_new_families_have_storm_entries():
+    assert get_scenario("vehicular-beacon-storm-t3").tier == "T3"
+    assert get_scenario("remote-id-storm-t3").tier == "T3"

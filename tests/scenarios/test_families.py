@@ -1,0 +1,99 @@
+"""The protocol-family tables: one exported mapping, used everywhere.
+
+Satellite check for the registry PR: the family tables that used to be
+duplicated across scenario.py / fleet.py / harness.py now live in
+``repro.scenarios.families``, and the scenario.py docstring table is
+kept honest against the mapping here.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+import repro.sim.scenario as scenario_mod
+from repro.errors import ConfigurationError
+from repro.scenarios.families import (
+    ALL_PROTOCOLS,
+    ENGINES,
+    MULTI_LEVEL,
+    NET_PROTOCOLS,
+    PROTOCOL_FAMILIES,
+    SINGLE_LEVEL,
+    TIER_NAMES,
+    TWO_PHASE,
+    VECTORIZED_PROTOCOLS,
+    WORKLOADS,
+    family_of,
+    protocols_in_family,
+)
+
+
+class TestMapping:
+    def test_every_protocol_has_a_family(self):
+        assert set(ALL_PROTOCOLS) == set(PROTOCOL_FAMILIES)
+
+    def test_family_groups_partition_the_protocols(self):
+        groups = set(TWO_PHASE) | set(SINGLE_LEVEL) | set(MULTI_LEVEL)
+        assert groups == set(ALL_PROTOCOLS)
+        assert len(TWO_PHASE) + len(SINGLE_LEVEL) + len(MULTI_LEVEL) == len(
+            ALL_PROTOCOLS
+        )
+
+    def test_family_of(self):
+        assert family_of("dap") == "two-phase"
+        assert family_of("tesla") == "single-level"
+        assert family_of("edrp") == "multi-level"
+
+    def test_family_of_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            family_of("carrier-pigeon")
+
+    def test_protocols_in_family(self):
+        assert protocols_in_family("two-phase") == TWO_PHASE
+        with pytest.raises(ConfigurationError):
+            protocols_in_family("no-such-family")
+
+    def test_engine_subsets(self):
+        assert VECTORIZED_PROTOCOLS == TWO_PHASE
+        assert NET_PROTOCOLS == TWO_PHASE
+        assert ENGINES == ("des", "vectorized")
+
+    def test_vocabulary_constants(self):
+        assert TIER_NAMES == ("T0", "T1", "T2", "T3")
+        assert WORKLOADS == ("crowdsensing", "vehicular-beacon", "remote-id")
+
+
+class TestConsumersAgree:
+    def test_scenario_module_reexports(self):
+        assert scenario_mod.ALL_PROTOCOLS is ALL_PROTOCOLS
+
+    def test_fleet_supported_protocols(self):
+        from repro.sim.fleet import SUPPORTED_PROTOCOLS
+
+        assert SUPPORTED_PROTOCOLS == VECTORIZED_PROTOCOLS
+
+    def test_harness_protocols(self):
+        from repro.net.harness import _NET_PROTOCOLS
+
+        assert _NET_PROTOCOLS == NET_PROTOCOLS
+
+
+def test_scenario_docstring_table_matches_mapping():
+    """The human-readable table in scenario.py tracks the real mapping.
+
+    Parses the reST table rows out of the module docstring and checks
+    each (name, family) pair against PROTOCOL_FAMILIES — so the table
+    can never silently drift when a protocol is added or refiled.
+    """
+    doc = scenario_mod.__doc__
+    assert doc is not None
+    rows = {}
+    for line in doc.splitlines():
+        match = re.match(
+            r"^(\w+)\s+(two-phase|single-level|multi-level)\s+\S", line
+        )
+        if match:
+            rows[match.group(1)] = match.group(2)
+    assert rows == dict(PROTOCOL_FAMILIES)

@@ -1,0 +1,149 @@
+"""Seeded programmatic generation: grids, random draws, addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    GeneratorSpec,
+    generate_scenarios,
+    generated_name,
+    get_scenario,
+    unregister_scenario,
+)
+
+AXES = (
+    ("receivers", (3, 5)),
+    ("attack_fraction", (0.2, 0.8)),
+)
+
+
+class TestSpecValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            GeneratorSpec(base="smoke-t2", axes=AXES, mode="exhaustive")
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="axes"):
+            GeneratorSpec(base="smoke-t2", axes=())
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            GeneratorSpec(
+                base="smoke-t2",
+                axes=(("receivers", (3,)), ("receivers", (5,))),
+            )
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            GeneratorSpec(base="smoke-t2", axes=(("receivers", ()),))
+
+    def test_random_mode_needs_samples(self):
+        with pytest.raises(ConfigurationError, match="samples"):
+            GeneratorSpec(base="smoke-t2", axes=AXES, mode="random")
+
+    def test_unknown_axis_field_rejected_at_generation(self):
+        spec = GeneratorSpec(base="smoke-t2", axes=(("warp_factor", (9,)),))
+        with pytest.raises(ConfigurationError, match="warp_factor"):
+            generate_scenarios(spec)
+
+
+class TestGridMode:
+    def test_full_cross_product(self):
+        batch = generate_scenarios(GeneratorSpec(base="smoke-t2", axes=AXES))
+        assert len(batch) == 4
+        points = {
+            (d.config.receivers, d.config.attack_fraction) for d in batch
+        }
+        assert points == {(3, 0.2), (3, 0.8), (5, 0.2), (5, 0.8)}
+
+    def test_variants_inherit_base_identity(self):
+        base = get_scenario("smoke-t2")
+        for d in generate_scenarios(GeneratorSpec(base="smoke-t2", axes=AXES)):
+            assert d.tier == base.tier
+            assert d.seeds == base.seeds
+            assert d.engines == base.engines
+            assert d.family == base.family
+            assert d.generated is True
+            assert "smoke-t2" in d.provenance
+
+    def test_names_are_content_addressed(self):
+        batch = generate_scenarios(GeneratorSpec(base="smoke-t2", axes=AXES))
+        for d in batch:
+            assert d.name == generated_name("smoke-t2", d.config)
+            assert d.name.startswith("smoke-t2-gen-")
+        assert len({d.name for d in batch}) == len(batch)
+
+    def test_regeneration_mints_identical_names(self):
+        spec = GeneratorSpec(base="smoke-t2", axes=AXES)
+        first = [d.name for d in generate_scenarios(spec)]
+        second = [d.name for d in generate_scenarios(spec)]
+        assert first == second
+
+    def test_protocol_axis_off_fast_path_drops_vectorized(self):
+        spec = GeneratorSpec(
+            base="smoke-t2", axes=(("protocol", ("dap", "tesla")),)
+        )
+        by_protocol = {
+            d.config.protocol: d for d in generate_scenarios(spec)
+        }
+        assert "vectorized" in by_protocol["dap"].engines
+        assert by_protocol["dap"].engine_exclusion is None
+        assert by_protocol["tesla"].engines == ("des",)
+        assert "fast path" in by_protocol["tesla"].engine_exclusion
+
+
+class TestRandomMode:
+    def test_seeded_draws_are_deterministic(self):
+        spec = GeneratorSpec(
+            base="smoke-t2", axes=AXES, mode="random", samples=8, seed=3
+        )
+        assert [d.name for d in generate_scenarios(spec)] == [
+            d.name for d in generate_scenarios(spec)
+        ]
+
+    def test_seed_changes_the_draw(self):
+        def names(seed):
+            return [
+                d.name
+                for d in generate_scenarios(
+                    GeneratorSpec(
+                        base="smoke-t2", axes=AXES, mode="random",
+                        samples=8, seed=seed,
+                    )
+                )
+            ]
+
+        assert names(3) != names(4)
+
+    def test_duplicates_collapse_by_content(self):
+        spec = GeneratorSpec(
+            base="smoke-t2",
+            axes=(("receivers", (3,)),),  # one point, many samples
+            mode="random",
+            samples=10,
+            seed=1,
+        )
+        assert len(generate_scenarios(spec)) == 1
+
+
+class TestRegistration:
+    def test_register_makes_variants_retrievable(self):
+        spec = GeneratorSpec(base="smoke-t2", axes=(("receivers", (3,)),))
+        batch = generate_scenarios(spec, register=True)
+        try:
+            assert len(batch) == 1
+            assert get_scenario(batch[0].name) == batch[0]
+            # Re-running the same spec is idempotent.
+            generate_scenarios(spec, register=True)
+        finally:
+            for d in batch:
+                unregister_scenario(d.name)
+
+    def test_unregistered_generation_leaves_registry_alone(self):
+        from repro.scenarios import scenario_names
+
+        before = scenario_names()
+        generate_scenarios(GeneratorSpec(base="smoke-t2", axes=AXES))
+        assert scenario_names() == before

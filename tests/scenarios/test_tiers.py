@@ -1,0 +1,89 @@
+"""Difficulty tiers: composable TierSpecs, monotone hostility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.tiers import FIXED_M, REOPTIMIZE, TIERS, TierSpec, tier
+from repro.sim.scenario import ScenarioConfig
+
+
+class TestCatalog:
+    def test_canonical_names_in_order(self):
+        assert tuple(TIERS) == ("T0", "T1", "T2", "T3")
+
+    def test_lookup(self):
+        assert tier("T2") is TIERS["T2"]
+
+    def test_unknown_tier_lists_valid_names(self):
+        with pytest.raises(ConfigurationError, match="T0"):
+            tier("T9")
+
+    def test_hostility_is_monotone(self):
+        attacks = [spec.attack_fraction for spec in TIERS.values()]
+        losses = [spec.loss_probability for spec in TIERS.values()]
+        assert attacks == sorted(attacks)
+        assert losses == sorted(losses)
+
+    def test_t2_is_the_paper_operating_point(self):
+        spec = tier("T2")
+        assert spec.attack_fraction == 0.5
+        assert spec.loss_probability == 0.1
+        assert spec.defender_latitude == FIXED_M
+
+    def test_only_the_storm_reoptimizes(self):
+        latitudes = {
+            name: spec.allows_reoptimization for name, spec in TIERS.items()
+        }
+        assert latitudes == {
+            "T0": False, "T1": False, "T2": False, "T3": True,
+        }
+        assert tier("T3").defender_latitude == REOPTIMIZE
+
+    def test_only_the_storm_has_fade_shocks(self):
+        assert tier("T3").loss_mean_burst is not None
+        for name in ("T0", "T1", "T2"):
+            assert tier(name).loss_mean_burst is None
+
+
+class TestApply:
+    def test_apply_swaps_situational_knobs_only(self):
+        base = ScenarioConfig(
+            protocol="tesla_pp", receivers=9, buffers=5, seed=42
+        )
+        shaped = tier("T3").apply(base)
+        # Situational knobs come from the tier...
+        assert shaped.attack_fraction == 0.8
+        assert shaped.attack_burst_fraction == 0.125
+        assert shaped.loss_probability == 0.2
+        assert shaped.loss_mean_burst == 4.0
+        # ...identity, sizing and seed stay the scenario's own.
+        assert shaped.protocol == "tesla_pp"
+        assert shaped.receivers == 9
+        assert shaped.buffers == 5
+        assert shaped.seed == 42
+
+    def test_tiers_compose_with_any_base(self):
+        base = ScenarioConfig(workload="remote-id")
+        for spec in TIERS.values():
+            shaped = spec.apply(base)
+            assert shaped.workload == "remote-id"
+            assert shaped.attack_fraction == spec.attack_fraction
+
+    def test_specs_are_immutable(self):
+        with pytest.raises(AttributeError):
+            tier("T0").attack_fraction = 0.9  # type: ignore[misc]
+
+    def test_custom_spec_validates_nothing_extra(self):
+        """TierSpec is a value object; apply works for ad-hoc tiers."""
+        spec = TierSpec(
+            name="T2",
+            attack_fraction=0.3,
+            attack_burst_fraction=0.5,
+            loss_probability=0.05,
+            loss_mean_burst=None,
+            defender_latitude=FIXED_M,
+            description="ad hoc",
+        )
+        assert spec.apply(ScenarioConfig()).attack_fraction == 0.3

@@ -1,12 +1,25 @@
-"""Unit tests for the crowdsensing workload generator."""
+"""Unit tests for the workload generators (all three families)."""
 
 from __future__ import annotations
+
+import math
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.protocols.messages import MESSAGE_BYTES
-from repro.sim.workloads import CrowdsensingWorkload, SensorReport
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.workloads import (
+    BeaconReport,
+    CrowdsensingWorkload,
+    RemoteIdReport,
+    RemoteIdWorkload,
+    SensorReport,
+    VehicularBeaconWorkload,
+    workload_for,
+)
+
+U32_MAX = 2**32 - 1
 
 
 class TestTasks:
@@ -91,3 +104,183 @@ class TestReportEncoding:
     def test_wrong_length_detected(self):
         with pytest.raises(ConfigurationError):
             CrowdsensingWorkload.decode_report(b"short")
+
+    @pytest.mark.parametrize("kind", CrowdsensingWorkload.DEFAULT_KINDS)
+    def test_roundtrip_across_kinds(self, kind):
+        """Every sensing modality's reports survive the wire format."""
+        kinds = (kind,)
+        workload = CrowdsensingWorkload(num_tasks=3, seed=2, kinds=kinds)
+        for task in workload.tasks:
+            assert task.kind == kind
+            decoded = CrowdsensingWorkload.decode_report(
+                workload.report_for(4, task.task_id)
+            )
+            assert decoded.task_id == task.task_id
+
+    @pytest.mark.parametrize("interval", [0, U32_MAX])
+    def test_interval_boundaries_roundtrip(self, interval):
+        report = SensorReport(task_id=0, interval=interval, reading=1.5)
+        decoded = CrowdsensingWorkload.decode_report(
+            CrowdsensingWorkload.encode_report(report)
+        )
+        assert decoded == report
+
+    @pytest.mark.parametrize("interval", [-1, U32_MAX + 1])
+    def test_interval_out_of_range_rejected(self, interval):
+        report = SensorReport(task_id=0, interval=interval, reading=1.5)
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload.encode_report(report)
+
+    @pytest.mark.parametrize("task_id", [-1, U32_MAX + 1])
+    def test_task_id_out_of_range_rejected(self, task_id):
+        report = SensorReport(task_id=task_id, interval=1, reading=1.5)
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload.encode_report(report)
+
+    @pytest.mark.parametrize(
+        "reading", [math.nan, math.inf, -math.inf]
+    )
+    def test_non_finite_reading_rejected(self, reading):
+        report = SensorReport(task_id=0, interval=1, reading=reading)
+        with pytest.raises(ConfigurationError):
+            CrowdsensingWorkload.encode_report(report)
+
+    def test_distinct_sources_is_cycle_period(self):
+        workload = CrowdsensingWorkload(num_tasks=3, seed=1)
+        assert workload.distinct_sources == 3
+        for copy in range(6):
+            same = workload.report_for(2, copy)
+            again = workload.report_for(2, copy + workload.distinct_sources)
+            assert same == again
+
+
+class TestVehicularBeaconWorkload:
+    def test_payload_is_paper_sized(self):
+        payload = VehicularBeaconWorkload().report_for(3, 1)
+        assert len(payload) == MESSAGE_BYTES
+
+    def test_roundtrip_f32_precision(self):
+        """Positions survive at f32 precision, flags exactly."""
+        workload = VehicularBeaconWorkload(num_vehicles=3, seed=4)
+        decoded = VehicularBeaconWorkload.decode_report(
+            workload.report_for(7, 2)
+        )
+        x, y, speed = workload.state(7, 2)
+        assert decoded.vehicle_id == 2
+        assert decoded.interval == 7
+        assert decoded.x == pytest.approx(x, rel=1e-6)
+        assert decoded.y == pytest.approx(y, rel=1e-6)
+        assert decoded.speed == pytest.approx(speed, rel=1e-6)
+        assert decoded.cooperative is True
+
+    def test_cooperative_flag_roundtrips_off(self):
+        workload = VehicularBeaconWorkload(cooperative=False)
+        decoded = VehicularBeaconWorkload.decode_report(
+            workload.report_for(1, 0)
+        )
+        assert decoded.cooperative is False
+
+    def test_vehicles_move_between_intervals(self):
+        workload = VehicularBeaconWorkload(num_vehicles=1, seed=1)
+        x0, y0, _ = workload.state(0, 0)
+        x9, y9, _ = workload.state(9, 0)
+        assert (x0, y0) != (x9, y9)
+
+    def test_non_finite_coordinate_rejected(self):
+        report = BeaconReport(
+            vehicle_id=0, interval=1, x=math.nan, y=0.0, speed=1.0,
+            cooperative=True,
+        )
+        with pytest.raises(ConfigurationError):
+            VehicularBeaconWorkload.encode_report(report)
+
+    def test_corrupt_padding_detected(self):
+        payload = bytearray(VehicularBeaconWorkload().report_for(1, 0))
+        payload[-1] ^= 0xFF
+        with pytest.raises(ConfigurationError):
+            VehicularBeaconWorkload.decode_report(bytes(payload))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VehicularBeaconWorkload(num_vehicles=0)
+        with pytest.raises(ConfigurationError):
+            VehicularBeaconWorkload(beacon_period=0.0)
+        with pytest.raises(ConfigurationError):
+            VehicularBeaconWorkload(num_vehicles=2).state(1, 5)
+
+    def test_distinct_sources_is_cycle_period(self):
+        workload = VehicularBeaconWorkload(num_vehicles=2, seed=1)
+        assert workload.distinct_sources == 2
+        assert workload.report_for(3, 1) == workload.report_for(3, 3)
+
+
+class TestRemoteIdWorkload:
+    def test_payload_is_paper_sized(self):
+        payload = RemoteIdWorkload().report_for(3, 1)
+        assert len(payload) == MESSAGE_BYTES
+
+    def test_roundtrip_f32_precision(self):
+        workload = RemoteIdWorkload(num_aircraft=3, seed=4)
+        decoded = RemoteIdWorkload.decode_report(workload.report_for(7, 1))
+        lat, lon = workload.position(7, 1)
+        assert decoded.aircraft_id == 1
+        assert decoded.interval == 7
+        assert decoded.latitude == pytest.approx(lat, rel=1e-6)
+        assert decoded.longitude == pytest.approx(lon, rel=1e-6)
+        assert decoded.emergency == workload.emergency(7, 1)
+
+    def test_emergency_bit_is_rare_and_deterministic(self):
+        workload = RemoteIdWorkload(num_aircraft=1, seed=3)
+        bits = [workload.emergency(i, 0) for i in range(500)]
+        assert bits == [workload.emergency(i, 0) for i in range(500)]
+        assert 0 < sum(bits) < 50
+
+    def test_non_finite_position_rejected(self):
+        report = RemoteIdReport(
+            aircraft_id=0, interval=1, latitude=math.inf, longitude=0.0,
+            emergency=False,
+        )
+        with pytest.raises(ConfigurationError):
+            RemoteIdWorkload.encode_report(report)
+
+    def test_corrupt_padding_detected(self):
+        payload = bytearray(RemoteIdWorkload().report_for(1, 0))
+        payload[-1] ^= 0xFF
+        with pytest.raises(ConfigurationError):
+            RemoteIdWorkload.decode_report(bytes(payload))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RemoteIdWorkload(num_aircraft=0)
+        with pytest.raises(ConfigurationError):
+            RemoteIdWorkload(cadence_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            RemoteIdWorkload(num_aircraft=2).position(1, 5)
+
+    def test_distinct_sources_is_cycle_period(self):
+        workload = RemoteIdWorkload(num_aircraft=2, seed=1)
+        assert workload.distinct_sources == 2
+        assert workload.report_for(3, 0) == workload.report_for(3, 2)
+
+
+class TestWorkloadFactory:
+    def test_dispatch_by_family(self):
+        cases = {
+            "crowdsensing": CrowdsensingWorkload,
+            "vehicular-beacon": VehicularBeaconWorkload,
+            "remote-id": RemoteIdWorkload,
+        }
+        for name, cls in cases.items():
+            config = ScenarioConfig(workload=name, sensing_tasks=3, seed=9)
+            workload = workload_for(config)
+            assert isinstance(workload, cls)
+            assert workload.distinct_sources == 3
+
+    def test_unknown_workload_rejected_by_config(self):
+        with pytest.raises(ConfigurationError, match="workload"):
+            ScenarioConfig(workload="smoke-signals")
+
+    def test_same_config_same_payloads(self):
+        config = ScenarioConfig(workload="vehicular-beacon", seed=5)
+        a, b = workload_for(config), workload_for(config)
+        assert a.report_for(2, 1) == b.report_for(2, 1)

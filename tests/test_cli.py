@@ -124,9 +124,11 @@ class TestEngineChoice:
     SIM_ARGS = ["simulate", "--protocol", "dap", "--p", "0.5", "--buffers", "4",
                 "--intervals", "15", "--receivers", "3", "--seeds", "2"]
 
-    def test_engine_defaults_to_des(self):
-        for command in (["simulate"], ["loadtest"]):
-            assert build_parser().parse_args(command).engine == "des"
+    def test_engine_defaults(self):
+        # simulate defaults to None so --scenario can supply the
+        # descriptor's engine; the effective fallback is still des.
+        assert build_parser().parse_args(["simulate"]).engine is None
+        assert build_parser().parse_args(["loadtest"]).engine == "des"
 
     def test_unknown_engine_rejected_at_parse_time(self):
         for command in (["simulate"], ["loadtest"]):
@@ -449,3 +451,110 @@ class TestLint:
     def test_lint_missing_path_is_usage_error(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "nope")]) == 2
         assert "no such path" in capsys.readouterr().err
+
+
+class TestScenariosSubcommand:
+    def test_list_renders_catalog_table(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario catalog" in out
+        assert "fig5-t2" in out
+        assert "remote-id-t2" in out
+
+    def test_list_filters(self, capsys):
+        assert main(["scenarios", "list", "--family", "remote-id"]) == 0
+        out = capsys.readouterr().out
+        assert "remote-id-t2" in out
+        assert "fig5-t2" not in out
+        assert main(["scenarios", "list", "--tier", "T3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6-evolution-t3" in out
+        assert "smoke-t2" not in out
+
+    def test_describe_prints_full_config(self, capsys):
+        assert main(["scenarios", "describe", "fig5-t2"]) == 0
+        out = capsys.readouterr().out
+        assert "tier          : T2" in out
+        assert "attack_fraction" in out
+        assert "provenance" in out
+
+    def test_describe_unknown_scenario_lists_names(self, capsys):
+        assert main(["scenarios", "describe", "no-such"]) == 2
+        assert "smoke-t2" in capsys.readouterr().err
+
+    def test_validate_named_subset(self, capsys):
+        code = main(
+            ["scenarios", "validate", "smoke-t2", "crowdsensing-tesla-t2",
+             "--seed", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 scenarios uphold the replay contract" in out
+        assert "des-only" in out  # tesla entry shows its exclusion
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+
+class TestScenarioFlags:
+    def test_simulate_scenario_uses_canonical_seeds(self, capsys):
+        assert main(["simulate", "--scenario", "smoke-t2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario            : smoke-t2 (tier T2, crowdsensing)" in out
+        assert "authentication rate" in out
+
+    def test_simulate_scenario_engine_override_matches(self, capsys):
+        assert main(
+            ["simulate", "--scenario", "smoke-t2", "--engine", "des"]
+        ) == 0
+        des_out = capsys.readouterr().out
+        assert main(
+            ["simulate", "--scenario", "smoke-t2", "--engine", "vectorized"]
+        ) == 0
+        assert capsys.readouterr().out == des_out
+
+    def test_simulate_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["simulate", "--scenario", "no-such"]) == 2
+        assert "registered scenarios" in capsys.readouterr().err
+
+    def test_unknown_protocol_lists_choices_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--protocol", "nosuch"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        for name in ("dap", "tesla_pp", "mu_tesla", "multilevel", "edrp"):
+            assert name in err
+
+    def test_loadtest_protocol_choices_are_net_capable_only(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["loadtest", "--protocol", "multilevel"])
+        err = capsys.readouterr().err
+        assert "dap" in err and "tesla_pp" in err
+
+    def test_simulate_workload_flag(self, capsys):
+        assert main(
+            ["simulate", "--workload", "vehicular-beacon", "--intervals",
+             "10", "--receivers", "2", "--seeds", "1"]
+        ) == 0
+
+    def test_loadtest_scenario_flag(self, capsys):
+        import json
+
+        assert main(
+            ["loadtest", "--scenario", "smoke-t2", "--intervals", "8",
+             "--interval-duration", "0.05"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["forged_accepted"] == 0
+
+    def test_figures_scenario_writes_extra_csv(self, tmp_path, capsys):
+        assert main(
+            ["figures", "--out", str(tmp_path), "--points", "16",
+             "--scenario", "smoke-t2"]
+        ) == 0
+        path = tmp_path / "scenario_smoke-t2.csv"
+        assert path.exists()
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) >= 2
