@@ -1,0 +1,83 @@
+"""``repro.cluster`` — the sharded coordinator/worker soak cluster.
+
+The step from one-process soaks (:mod:`repro.net.harness`) toward the
+ROADMAP's multi-host regime: a coordinator splits a scenario's
+receiver population into shard tasks and leases them over a TCP
+JSON-lines protocol to worker daemons (local processes by default,
+remote-capable by construction), with heartbeat-renewed leases,
+bounded in-flight backpressure, live ``metrics.jsonl`` observability
+and declarative fault schedules. Results fold through the harness's
+:func:`~repro.net.harness.merge_soaks` into one
+:class:`~repro.net.harness.LoadTestReport` and reconcile — exactly, by
+default — against the vectorized fleet engine's prediction of the same
+seeds.
+
+Quick start (also ``repro cluster soak`` on the CLI)::
+
+    from repro.cluster import ClusterConfig, run_cluster_soak
+    from repro.scenarios import get_scenario
+
+    config = ClusterConfig(
+        scenario=get_scenario("crowdsensing-baseline-t0").config,
+        workers=3,
+        shards=3,
+        metrics_path="metrics.jsonl",
+    )
+    result = run_cluster_soak(config)
+    print(result.report.to_json())
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterResult,
+    run_cluster_soak,
+)
+from repro.cluster.faults import (
+    FAULT_ACTIONS,
+    FaultEvent,
+    FaultSchedule,
+    parse_fault,
+)
+from repro.cluster.leases import Lease, LeaseTable
+from repro.cluster.metrics import MetricsLog, read_metrics
+from repro.cluster.reconcile import (
+    Reconciliation,
+    TaskReconciliation,
+    reconcile_soaks,
+    reconcile_task,
+)
+from repro.cluster.shards import ShardTask, plan_tasks
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterResult",
+    "FaultEvent",
+    "FaultSchedule",
+    "Lease",
+    "LeaseTable",
+    "MetricsLog",
+    "Reconciliation",
+    "ShardTask",
+    "TaskReconciliation",
+    "WorkerDaemon",
+    "parse_fault",
+    "plan_tasks",
+    "read_metrics",
+    "reconcile_soaks",
+    "reconcile_task",
+    "run_cluster_soak",
+]
+
+
+def __getattr__(name: str) -> object:
+    # WorkerDaemon is exported lazily: importing repro.cluster.worker
+    # here would make ``python -m repro.cluster.worker`` (how the
+    # coordinator spawns daemons) warn about double execution.
+    if name == "WorkerDaemon":
+        from repro.cluster.worker import WorkerDaemon
+
+        return WorkerDaemon
+    raise AttributeError(f"module 'repro.cluster' has no attribute {name!r}")

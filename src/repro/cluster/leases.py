@@ -1,0 +1,106 @@
+"""Lease bookkeeping for shard tasks.
+
+A lease is the coordinator's claim that worker ``w`` is responsible
+for task ``t`` until ``expires_at``. Heartbeats renew only the leases
+for tasks the worker *reports as actively running* — a worker whose
+soak thread died keeps heartbeating, but stops listing the task, so
+its lease still expires and the shard re-leases elsewhere.
+
+The table is pure bookkeeping: callers pass the current time in, so
+unit tests drive expiry with arithmetic instead of sleeps, and the
+coordinator stays the only place that reads the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ClusterError
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One granted lease: ``worker_id`` owns ``task_id`` until expiry."""
+
+    task_id: str
+    worker_id: int
+    granted_at: float
+    expires_at: float
+
+
+class LeaseTable:
+    """All currently granted leases, keyed by task id."""
+
+    def __init__(self) -> None:
+        self._leases: Dict[str, Lease] = {}
+
+    def grant(
+        self, task_id: str, worker_id: int, ttl: float, now: float
+    ) -> Lease:
+        """Lease ``task_id`` to ``worker_id`` for ``ttl`` seconds."""
+        existing = self._leases.get(task_id)
+        if existing is not None:
+            raise ClusterError(
+                f"task {task_id!r} is already leased to worker"
+                f" {existing.worker_id}"
+            )
+        lease = Lease(
+            task_id=task_id,
+            worker_id=worker_id,
+            granted_at=now,
+            expires_at=now + ttl,
+        )
+        self._leases[task_id] = lease
+        return lease
+
+    def renew(
+        self,
+        worker_id: int,
+        active_task_ids: Sequence[str],
+        ttl: float,
+        now: float,
+    ) -> int:
+        """Extend the leases ``worker_id`` holds for the tasks it still
+        reports active; returns how many were renewed."""
+        renewed = 0
+        for task_id in active_task_ids:
+            lease = self._leases.get(task_id)
+            if lease is not None and lease.worker_id == worker_id:
+                lease.expires_at = now + ttl
+                renewed += 1
+        return renewed
+
+    def release(self, task_id: str) -> bool:
+        """Drop the lease for ``task_id``; True when one existed."""
+        return self._leases.pop(task_id, None) is not None
+
+    def expire(self, now: float) -> List[Lease]:
+        """Pop and return every lease past its expiry."""
+        expired = [
+            lease for lease in self._leases.values() if lease.expires_at <= now
+        ]
+        for lease in expired:
+            del self._leases[lease.task_id]
+        return expired
+
+    def held_by(self, worker_id: int) -> List[Lease]:
+        """The leases ``worker_id`` currently holds."""
+        return [
+            lease
+            for lease in self._leases.values()
+            if lease.worker_id == worker_id
+        ]
+
+    def holder(self, task_id: str) -> int:
+        """The worker holding ``task_id`` (-1 when unleased)."""
+        lease = self._leases.get(task_id)
+        return -1 if lease is None else lease.worker_id
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, task_id: object) -> bool:
+        return task_id in self._leases

@@ -1,0 +1,83 @@
+"""Tail-able JSON-lines metrics for cluster soaks.
+
+Every record is one JSON object on one line, flushed immediately, so
+``tail -f metrics.jsonl`` (or ``jq``) follows a live soak. Three kinds
+of record share the file, distinguished by ``kind``:
+
+``worker``
+    One per heartbeat: the worker's in-flight tasks, RSS, and the
+    delta of its :class:`~repro.perf.PerfRegistry` since the previous
+    beat (counters reset atomically — see ``PerfRegistry.reset``).
+``coordinator``
+    One per ``metrics_interval``: pending/leased/completed task
+    counts, re-lease and backpressure totals, per-worker health.
+``fault``
+    One per fired fault event.
+
+Writes are serialised by an internal lock because heartbeat handler
+threads and the dispatch loop share one log.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import ClusterError
+
+__all__ = ["MetricsLog", "read_metrics"]
+
+
+class MetricsLog:
+    """Append-only JSON-lines writer, safe across threads."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single flushed JSON line."""
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                return  # a late heartbeat after shutdown is not an error
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._handle.close()
+
+    def __enter__(self) -> "MetricsLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_metrics(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a ``metrics.jsonl`` back into records (blank lines skipped)."""
+    records: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(
+                f"{path}:{lineno}: malformed metrics line: {line[:80]!r}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise ClusterError(
+                f"{path}:{lineno}: metrics line is not an object"
+            )
+        records.append(record)
+    return records

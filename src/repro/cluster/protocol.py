@@ -1,0 +1,204 @@
+"""Wire protocol between the coordinator and its workers.
+
+Newline-delimited JSON over a TCP stream — deliberately boring, so a
+worker can run on another host with nothing but the standard library.
+Message types (``"type"`` field):
+
+==================  ==================================================
+``register``        worker → coordinator: hello (+ requested id, pid)
+``welcome``         coordinator → worker: assigned id and run knobs
+                    (max_inflight, heartbeat_interval, stall_seconds)
+``lease``           coordinator → worker: run this task's scenario
+``nack``            worker → coordinator: lease refused, queue full
+``heartbeat``       worker → coordinator: liveness + active task ids,
+                    RSS, and the perf-registry delta since last beat
+``result``          worker → coordinator: the finished SoakResult,
+                    echoing the scenario it actually ran
+``task-failed``     worker → coordinator: the task raised; message
+                    carries the error text
+``shutdown``        coordinator → worker: drain and exit
+==================  ==================================================
+
+The scenario/soak codecs round-trip the harness dataclasses through
+plain JSON types; every decode validates shape and raises
+:class:`~repro.errors.ClusterError` on garbage rather than crashing a
+daemon thread with a ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from collections import deque
+from dataclasses import asdict
+from typing import Any, Deque, Dict, Optional
+
+from repro.errors import ClusterError
+from repro.net.harness import SoakResult
+from repro.sim.metrics import FleetSummary, NodeSummary
+from repro.sim.scenario import ScenarioConfig
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "MessageStream",
+    "decode_scenario",
+    "decode_soak",
+    "encode_scenario",
+    "encode_soak",
+]
+
+MESSAGE_TYPES = (
+    "register",
+    "welcome",
+    "lease",
+    "nack",
+    "heartbeat",
+    "result",
+    "task-failed",
+    "shutdown",
+)
+
+_SOAK_INT_FIELDS = (
+    "sent_authentic",
+    "datagrams_delivered",
+    "datagrams_dropped",
+    "datagrams_duplicated",
+    "datagrams_reordered",
+    "malformed",
+    "packets_injected",
+)
+
+
+def encode_scenario(scenario: ScenarioConfig) -> Dict[str, Any]:
+    """A :class:`ScenarioConfig` as a JSON-ready dict."""
+    return asdict(scenario)
+
+
+def decode_scenario(document: Dict[str, Any]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig`; unknown keys are rejected by
+    the dataclass constructor, bad values by its own validation."""
+    if not isinstance(document, dict):
+        raise ClusterError(f"scenario document must be an object, got {document!r}")
+    try:
+        return ScenarioConfig(**document)
+    except TypeError as exc:
+        raise ClusterError(f"malformed scenario document: {exc}") from exc
+
+
+def encode_soak(soak: SoakResult) -> Dict[str, Any]:
+    """A :class:`SoakResult` as a JSON-ready dict."""
+    return {
+        "nodes": [asdict(node) for node in soak.fleet.nodes],
+        "sent_authentic": soak.sent_authentic,
+        "latencies": list(soak.latencies),
+        "datagrams_delivered": soak.datagrams_delivered,
+        "datagrams_dropped": soak.datagrams_dropped,
+        "datagrams_duplicated": soak.datagrams_duplicated,
+        "datagrams_reordered": soak.datagrams_reordered,
+        "malformed": soak.malformed,
+        "packets_injected": soak.packets_injected,
+        "simulated_seconds": soak.simulated_seconds,
+        "wall_seconds": soak.wall_seconds,
+    }
+
+
+def decode_soak(document: Dict[str, Any]) -> SoakResult:
+    """Rebuild a :class:`SoakResult` from :func:`encode_soak` output."""
+    if not isinstance(document, dict):
+        raise ClusterError(f"soak document must be an object, got {document!r}")
+    try:
+        nodes = tuple(
+            NodeSummary(**node) for node in document["nodes"]
+        )
+        fleet = FleetSummary(
+            nodes=nodes, sent_authentic=int(document["sent_authentic"])
+        )
+        return SoakResult(
+            fleet=fleet,
+            latencies=tuple(float(v) for v in document["latencies"]),
+            simulated_seconds=float(document["simulated_seconds"]),
+            wall_seconds=float(document["wall_seconds"]),
+            **{name: int(document[name]) for name in _SOAK_INT_FIELDS},
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ClusterError(f"malformed soak document: {exc}") from exc
+
+
+class MessageStream:
+    """One JSON-lines message channel over a connected socket.
+
+    ``send`` is safe from multiple threads (heartbeat + soak threads
+    share a worker's stream); ``recv`` is meant for a single reader
+    thread and keeps its own line buffer so a slow sender never splits
+    a message. ``recv`` returns ``None`` at EOF — the peer is gone.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._buffer = b""
+        self._lines: Deque[bytes] = deque()
+        self._closed = False
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Write one message; raises :class:`OSError` when the peer is
+        gone (callers treat that as a dead worker/coordinator)."""
+        payload = json.dumps(message, separators=(",", ":")) + "\n"
+        with self._send_lock:
+            self._sock.sendall(payload.encode("utf-8"))
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Read the next message; ``None`` on a clean EOF."""
+        while True:
+            if self._lines:
+                return self._decode(self._lines.popleft())
+            newline = self._buffer.find(b"\n")
+            if newline != -1:
+                line, self._buffer = (
+                    self._buffer[:newline],
+                    self._buffer[newline + 1 :],
+                )
+                self._lines.append(line)
+                continue
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    raise ClusterError(
+                        "peer closed the connection mid-message"
+                    )
+                return None
+            self._buffer += chunk
+
+    @staticmethod
+    def _decode(line: bytes) -> Dict[str, Any]:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ClusterError(
+                f"malformed cluster message: {line[:120]!r}"
+            ) from exc
+        if not isinstance(message, dict) or "type" not in message:
+            raise ClusterError(
+                f"cluster message must be an object with a 'type' key,"
+                f" got {line[:120]!r}"
+            )
+        if message["type"] not in MESSAGE_TYPES:
+            raise ClusterError(
+                f"unknown cluster message type {message['type']!r}"
+            )
+        return message
+
+    def close(self) -> None:
+        """Tear the channel down; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
+        try:
+            self._sock.close()
+        except OSError:
+            pass

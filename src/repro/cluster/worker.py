@@ -1,0 +1,289 @@
+"""The cluster worker daemon: ``python -m repro.cluster.worker``.
+
+A worker connects to the coordinator, registers, and then serves
+leases: each lease carries one shard's scenario, which the worker runs
+as a real loopback soak (or a fleet-engine prediction when the lease's
+scenario says ``engine="vectorized"``) on its own thread, up to the
+``max_inflight`` bound the coordinator's welcome message sets. A lease
+that would exceed the bound is nacked straight back — backpressure is
+enforced on both ends.
+
+Liveness and observability ride the same heartbeat: every
+``heartbeat_interval`` the worker reports its in-flight task ids (the
+coordinator renews exactly those leases), its resident set size, and
+the delta of its process-wide :class:`~repro.perf.PerfRegistry` since
+the previous beat (``reset()`` swaps the registry atomically, so each
+counter increment lands in exactly one exported delta).
+
+Workers are plain processes speaking TCP, so nothing here assumes the
+coordinator is on the same host; the default deployment just spawns
+them locally via :mod:`subprocess`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import threading
+import time
+from typing import Any, Dict, Optional, Sequence, Set
+
+from repro import perf
+from repro.cluster.protocol import (
+    MessageStream,
+    decode_scenario,
+    encode_soak,
+)
+from repro.errors import ClusterError, ReproError
+from repro.net.harness import predicted_soak, run_loopback_soak
+
+__all__ = ["WorkerDaemon", "rss_bytes", "main"]
+
+
+def rss_bytes() -> int:
+    """This process's resident set size in bytes.
+
+    Reads ``/proc/self/statm`` where available; falls back to the
+    high-water ``ru_maxrss`` elsewhere (a conservative over-estimate,
+    which is the right direction for a resource limit).
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+class WorkerDaemon:
+    """One worker: a connection, a heartbeat, and soak threads."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: Optional[int] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self.connect_timeout = connect_timeout
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._active: Set[str] = set()
+        self._max_inflight = 1
+        self._heartbeat_interval = 0.2
+        self._stall = 0.0
+        self._registry = perf.PerfRegistry()
+
+    def stop(self) -> None:
+        """Ask the daemon loops to wind down."""
+        self._stop.set()
+
+    def run(self) -> None:
+        """Serve leases until shutdown or the coordinator disappears."""
+        import socket
+
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        sock.settimeout(None)
+        stream = MessageStream(sock)
+        try:
+            stream.send(
+                {
+                    "type": "register",
+                    "worker_id": self.worker_id,
+                    "pid": os.getpid(),
+                }
+            )
+            welcome = stream.recv()
+            if welcome is None or welcome.get("type") != "welcome":
+                raise ClusterError(
+                    f"expected a welcome from the coordinator, got {welcome!r}"
+                )
+            self.worker_id = int(welcome["worker_id"])
+            self._max_inflight = int(welcome["max_inflight"])
+            self._heartbeat_interval = float(welcome["heartbeat_interval"])
+            self._stall = float(welcome.get("stall_seconds", 0.0))
+            perf.enable(self._registry)
+            heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(stream,),
+                name=f"cluster-worker-{self.worker_id}-heartbeat",
+                daemon=True,
+            )
+            heartbeat.start()
+            while not self._stop.is_set():
+                message = stream.recv()
+                if message is None or message["type"] == "shutdown":
+                    break
+                if message["type"] == "lease":
+                    self._handle_lease(stream, message)
+        finally:
+            self._stop.set()
+            perf.disable()
+            stream.close()
+
+    def _handle_lease(
+        self, stream: MessageStream, message: Dict[str, Any]
+    ) -> None:
+        task_id = str(message["task_id"])
+        with self._state_lock:
+            if len(self._active) >= self._max_inflight:
+                self._registry.incr("cluster.worker.nacks")
+                stream.send(
+                    {
+                        "type": "nack",
+                        "worker_id": self.worker_id,
+                        "task_id": task_id,
+                    }
+                )
+                return
+            self._active.add(task_id)
+        thread = threading.Thread(
+            target=self._run_task,
+            args=(stream, task_id, message["scenario"]),
+            name=f"cluster-task-{task_id}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _run_task(
+        self,
+        stream: MessageStream,
+        task_id: str,
+        scenario_document: Dict[str, Any],
+    ) -> None:
+        try:
+            scenario = decode_scenario(scenario_document)
+            if self._stall > 0:
+                time.sleep(self._stall)
+            if scenario.engine == "vectorized":
+                soak = predicted_soak(scenario)
+            else:
+                soak = run_loopback_soak(scenario)
+            self._registry.incr("cluster.worker.tasks_completed")
+            self._registry.observe(
+                "cluster.worker.task_wall_seconds", soak.wall_seconds
+            )
+            stream.send(
+                {
+                    "type": "result",
+                    "worker_id": self.worker_id,
+                    "task_id": task_id,
+                    "scenario": scenario_document,
+                    "soak": encode_soak(soak),
+                }
+            )
+        except ReproError as exc:
+            self._send_failure(stream, task_id, exc)
+        except Exception as exc:
+            # Fault boundary: report upstream so the shard re-leases,
+            # then re-raise — a programming error must stay loud.
+            self._send_failure(stream, task_id, exc)
+            raise
+        finally:
+            with self._state_lock:
+                self._active.discard(task_id)
+
+    def _send_failure(
+        self, stream: MessageStream, task_id: str, exc: BaseException
+    ) -> None:
+        self._registry.incr("cluster.worker.tasks_failed")
+        try:
+            stream.send(
+                {
+                    "type": "task-failed",
+                    "worker_id": self.worker_id,
+                    "task_id": task_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        except OSError:
+            pass  # coordinator gone; the lease will expire anyway
+
+    def _heartbeat_loop(self, stream: MessageStream) -> None:
+        while not self._stop.wait(self._heartbeat_interval):
+            with self._state_lock:
+                active = sorted(self._active)
+            try:
+                stream.send(
+                    {
+                        "type": "heartbeat",
+                        "worker_id": self.worker_id,
+                        "inflight": len(active),
+                        "active": active,
+                        "rss_bytes": rss_bytes(),
+                        "perf": self._registry.reset(),
+                    }
+                )
+            except OSError:
+                self._stop.set()
+                return
+
+
+def _parse_connect(text: str) -> "tuple[str, int]":
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a numeric port, got {port!r}"
+        ) from None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.cluster.worker`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster-worker",
+        description="soak-cluster worker daemon (normally spawned by"
+        " the coordinator)",
+    )
+    parser.add_argument(
+        "--connect",
+        type=_parse_connect,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address",
+    )
+    parser.add_argument(
+        "--worker-id",
+        type=int,
+        default=None,
+        help="requested worker id (coordinator may reassign)",
+    )
+    parser.add_argument(
+        "--max-runtime",
+        type=float,
+        default=600.0,
+        help="hard self-destruct deadline in seconds, so an orphaned"
+        " worker never outlives its soak (default: 600)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    host, port = args.connect
+    # The guillotine: if the coordinator dies without closing our
+    # socket (SIGKILL, host partition), exit anyway.
+    guillotine = threading.Timer(args.max_runtime, os._exit, args=[2])
+    guillotine.daemon = True
+    guillotine.start()
+    daemon = WorkerDaemon(host, port, worker_id=args.worker_id)
+    try:
+        daemon.run()
+    except (OSError, ClusterError) as exc:
+        print(f"worker error: {exc}", flush=True)
+        return 1
+    finally:
+        guillotine.cancel()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised as a subprocess
+    raise SystemExit(main())

@@ -387,32 +387,87 @@ class AsyncBlockingRule(Rule):
 
 
 class ForkSafetyRule(Rule):
-    """RPL004 — only picklable work reaches the process pool.
+    """RPL004 — only picklable work reaches the process pool, and
+    nothing forks a live process.
 
     ``ParallelExecutor`` ships ``spec.fn`` and every task payload to
     spawned/forked workers by pickling; a lambda or a function defined
     inside another function has a ``<locals>`` qualname and fails at
     dispatch time — in the middle of a sweep. Module-level ``open``
     handles are inherited by forked workers and interleave writes.
+
+    Raw fork primitives — ``os.fork()`` and
+    ``multiprocessing.get_context("fork")`` / ``set_start_method("fork")``
+    — are banned outright: the cluster coordinator and the experiment
+    engine are multi-threaded, and a forked child of a multi-threaded
+    process inherits whatever locks happened to be held at fork time
+    and deadlocks on first use. Workers are started as *fresh*
+    processes (``subprocess``, ``get_context("spawn")``) instead.
     """
 
     code = "RPL004"
     name = "fork-safety"
     description = (
-        "unpicklable engine payload (lambda/nested def) or module-level"
-        " open handle"
+        "unpicklable engine payload (lambda/nested def), module-level"
+        " open handle, or raw fork primitive"
     )
 
     SCOPE = ("repro/", "benchmarks/")
     _ENGINE_CALL_NAMES = frozenset({"ExperimentSpec", "run_tasks"})
     _ENGINE_CALL_ATTRS = frozenset({"over", "submit"})
     _PAYLOAD_KEYWORDS = frozenset({"fn", "initializer"})
+    _FORK_CALLS = frozenset({"fork", "forkpty"})
+    _CONTEXT_CALLS = frozenset({"get_context", "set_start_method"})
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:
         if not ctx.in_dir(*self.SCOPE):
             return
         yield from self._check_module_level_handles(ctx)
+        yield from self._check_fork_primitives(ctx)
         yield from self._walk_scope(ctx, ctx.tree, nested_defs=frozenset())
+
+    def _check_fork_primitives(self, ctx: LintContext) -> Iterator[Violation]:
+        imports = _Imports(ctx.tree, {"os", "multiprocessing"})
+        if not imports.modules and not imports.members:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve_call(node.func)
+            if resolved is None:
+                continue
+            module, attr = resolved
+            if module == "os" and attr in self._FORK_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"os.{attr}() forks a live process: a child of a"
+                    " multi-threaded coordinator/executor inherits held"
+                    " locks and deadlocks; start a fresh process via"
+                    " subprocess or get_context('spawn')",
+                )
+            elif module == "multiprocessing" and attr in self._CONTEXT_CALLS:
+                if self._requests_fork(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"multiprocessing.{attr}('fork') selects the"
+                        " fork start method, which copies a"
+                        " multi-threaded parent's held locks into the"
+                        " child; use 'spawn'",
+                    )
+
+    @staticmethod
+    def _requests_fork(node: ast.Call) -> bool:
+        candidates: List[ast.expr] = list(node.args) + [
+            keyword.value
+            for keyword in node.keywords
+            if keyword.arg == "method"
+        ]
+        return any(
+            isinstance(candidate, ast.Constant) and candidate.value == "fork"
+            for candidate in candidates
+        )
 
     def _check_module_level_handles(
         self, ctx: LintContext

@@ -45,6 +45,7 @@ from repro.timesync.intervals import IntervalSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
 __all__ = [
+    "LOADTEST_SCHEMA_VERSION",
     "SoakWorld",
     "SoakResult",
     "LoadTestConfig",
@@ -52,9 +53,17 @@ __all__ = [
     "derive_soak_world",
     "run_loopback_soak",
     "run_loadtest",
+    "predicted_soak",
     "merge_soaks",
     "percentile",
+    "shard_sizes",
 ]
+
+#: Version of the :class:`LoadTestReport` JSON schema. Bump when a
+#: field is added/renamed so cluster-merged reports written by one
+#: version stay recognisable to another; ``LoadTestReport.from_dict``
+#: accepts (and ignores) the field plus any unknown keys.
+LOADTEST_SCHEMA_VERSION = 1
 
 # Canonical table: repro.scenarios.families (the codec covers every
 # family; the daemon builders only the two-phase).
@@ -113,6 +122,26 @@ def derive_soak_world(config: ScenarioConfig) -> SoakWorld:
         proxy_rng=proxy_rng,
         attacker_rng=attacker_rng,
     )
+
+
+def shard_sizes(receivers: int, shards: int) -> List[int]:
+    """Balanced round-robin split of ``receivers`` across ``shards``.
+
+    Receivers are dealt round-robin, so when ``receivers % shards != 0``
+    the remainder spreads one-per-shard over the *first* shards instead
+    of piling onto the last one: ``shard_sizes(10, 4) == [3, 3, 2, 2]``.
+    Shared by :meth:`LoadTestConfig.scenario_for_shard` and the cluster
+    coordinator's shard planner (:mod:`repro.cluster.shards`) — sizes
+    always differ by at most one and sum to ``receivers``.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if receivers < shards:
+        raise ConfigurationError(
+            f"cannot split {receivers} receivers into {shards} shards"
+        )
+    base, remainder = divmod(receivers, shards)
+    return [base + 1 if s < remainder else base for s in range(shards)]
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
@@ -382,13 +411,12 @@ class LoadTestConfig:
 
     def scenario_for_shard(self, shard: int) -> ScenarioConfig:
         """The :class:`ScenarioConfig` for shard ``shard``."""
-        base = self.receivers // self.shards
-        extra = 1 if shard < self.receivers % self.shards else 0
+        sizes = shard_sizes(self.receivers, self.shards)
         return ScenarioConfig(
             protocol=self.protocol,
             intervals=self.intervals,
             interval_duration=self.interval_duration,
-            receivers=base + extra,
+            receivers=sizes[shard],
             buffers=self.buffers,
             attack_fraction=self.attack_fraction,
             loss_probability=self.loss_probability,
@@ -424,6 +452,11 @@ class LoadTestReport:
     Latencies are reported in microseconds; ``packets_per_second`` is
     datagrams delivered divided by summed shard wall time (per-core
     throughput — conservative under parallel execution).
+
+    Serialised documents carry a ``schema_version`` field
+    (:data:`LOADTEST_SCHEMA_VERSION`); :meth:`from_dict` accepts and
+    ignores it — plus any other unknown key — so cluster-merged reports
+    stay forward-compatible across schema bumps.
     """
 
     transport: str
@@ -452,21 +485,43 @@ class LoadTestReport:
 
     def to_dict(self) -> Dict[str, Any]:
         """The report as a plain JSON-serialisable dict."""
-        return asdict(self)
+        data = asdict(self)
+        data["schema_version"] = LOADTEST_SCHEMA_VERSION
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """The report as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LoadTestReport":
+        """Rebuild a report from :meth:`to_dict` output.
 
-def _scenario_soak(scenario: ScenarioConfig) -> SoakResult:
+        ``schema_version`` and any key this version does not know are
+        ignored (forward compatibility); a missing report field raises
+        :class:`~repro.errors.ConfigurationError` naming it.
+        """
+        import dataclasses
+
+        field_names = [f.name for f in dataclasses.fields(cls)]
+        missing = [name for name in field_names if name not in data]
+        if missing:
+            raise ConfigurationError(
+                f"load test report document is missing fields {missing}"
+            )
+        return cls(**{name: data[name] for name in field_names})
+
+
+def predicted_soak(scenario: ScenarioConfig) -> SoakResult:
     """Predict a loopback soak through the scenario engine.
 
     Loopback soaks at default faults mirror :func:`run_scenario`
     exactly, so the per-node outcome tallies here are the ones the
     daemons would have produced — at array-engine speed. Transport
     artifacts (latencies, datagram counters) have no in-memory
-    equivalent and read zero.
+    equivalent and read zero. Used by the ``engine="vectorized"``
+    loadtest path and by cluster workers/reconciliation
+    (:mod:`repro.cluster`).
     """
     from repro.sim.scenario import run_scenario
 
@@ -492,7 +547,7 @@ def _run_loadtest_shard(task: Tuple[LoadTestConfig, int]) -> SoakResult:
     config, shard = task
     scenario = config.scenario_for_shard(shard)
     if config.engine == "vectorized":
-        return _scenario_soak(scenario)
+        return predicted_soak(scenario)
     return run_loopback_soak(
         scenario,
         proxy_config=config.proxy_config(),

@@ -10,11 +10,22 @@ process-wide active registry for the duration of a block.
 
 Hot paths guard every update with ``if perf.ACTIVE is not None`` so a
 disabled registry costs one global load per call site and nothing else
-(see ``benchmarks/bench_perf_overhead.py`` for the guard bench).
+(see ``benchmarks/bench_perf_overhead.py`` for the guard bench) —
+adding the internal lock below did not touch that invariant, because
+the disabled path never reaches a registry method at all.
+
+Updates, :meth:`~PerfRegistry.snapshot` and
+:meth:`~PerfRegistry.reset` are serialised by one internal lock: the
+cluster's periodic metrics exporter (:mod:`repro.cluster.worker`)
+snapshots a registry from a heartbeat thread while soak threads keep
+producing, and ``counter = counter + amount`` is not atomic across
+threads without it. Single-threaded measurement pays one uncontended
+lock acquisition per update — noise next to the hashing it measures.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator
@@ -66,21 +77,25 @@ class Observation:
 class PerfRegistry:
     """Named counters, observations and timers for one measurement run.
 
-    All methods are cheap dictionary updates; the registry is intended
-    for single-threaded measurement (the simulator, the loopback soak
-    and the asyncio UDP world all run their hot loops on one thread).
+    All methods are cheap dictionary updates under one internal lock,
+    so concurrent producer threads never lose increments and
+    :meth:`snapshot`/:meth:`reset` always see a consistent cut — the
+    contract the cluster's periodic exporter depends on
+    (``tests/perf/test_registry.py`` pins it with hammering threads).
     """
 
-    __slots__ = ("counters", "observations", "timers")
+    __slots__ = ("counters", "observations", "timers", "_lock")
 
     def __init__(self) -> None:
         self.counters: Dict[str, int] = {}
         self.observations: Dict[str, Observation] = {}
         self.timers: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never incremented)."""
@@ -88,10 +103,11 @@ class PerfRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Fold ``value`` into observation stream ``name``."""
-        stat = self.observations.get(name)
-        if stat is None:
-            stat = self.observations[name] = Observation()
-        stat.update(value)
+        with self._lock:
+            stat = self.observations.get(name)
+            if stat is None:
+                stat = self.observations[name] = Observation()
+            stat.update(value)
 
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
@@ -101,7 +117,8 @@ class PerfRegistry:
             yield
         finally:
             elapsed = time.perf_counter() - started
-            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+            with self._lock:
+                self.timers[name] = self.timers.get(name, 0.0) + elapsed
 
     def hit_rate(self, hits: str, misses: str) -> float:
         """``hits / (hits + misses)`` over two counters (0.0 when idle)."""
@@ -110,14 +127,45 @@ class PerfRegistry:
         return h / total if total else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready copy of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "observations": {
-                name: stat.to_dict() for name, stat in self.observations.items()
-            },
-            "timers": dict(self.timers),
-        }
+        """JSON-ready copy of everything recorded so far.
+
+        Taken under the registry lock, so a snapshot is a consistent
+        cut even while producer threads keep recording: no counter ever
+        appears half-updated and no observation summary mixes samples
+        from before and after the cut.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "observations": {
+                    name: stat.to_dict()
+                    for name, stat in self.observations.items()
+                },
+                "timers": dict(self.timers),
+            }
+
+    def reset(self) -> Dict[str, Any]:
+        """Atomically snapshot everything recorded so far, then clear.
+
+        The swap happens under the registry lock, so every increment
+        lands in exactly one reset window — the delta-export discipline
+        the cluster's periodic metrics exporter uses (sum of exported
+        deltas equals the true total, no sample counted twice or
+        dropped). Returns the pre-reset snapshot.
+        """
+        with self._lock:
+            cut = {
+                "counters": dict(self.counters),
+                "observations": {
+                    name: stat.to_dict()
+                    for name, stat in self.observations.items()
+                },
+                "timers": dict(self.timers),
+            }
+            self.counters.clear()
+            self.observations.clear()
+            self.timers.clear()
+        return cut
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

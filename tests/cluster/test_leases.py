@@ -1,0 +1,72 @@
+"""Lease-table semantics, driven with arithmetic time (no sleeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.leases import LeaseTable
+from repro.errors import ClusterError
+
+
+def test_grant_and_holder():
+    table = LeaseTable()
+    lease = table.grant("r0-s0", worker_id=1, ttl=2.0, now=10.0)
+    assert lease.expires_at == 12.0
+    assert table.holder("r0-s0") == 1
+    assert table.holder("r0-s1") == -1
+    assert "r0-s0" in table
+    assert len(table) == 1
+
+
+def test_double_grant_raises():
+    table = LeaseTable()
+    table.grant("r0-s0", worker_id=0, ttl=2.0, now=0.0)
+    with pytest.raises(ClusterError, match="already leased"):
+        table.grant("r0-s0", worker_id=1, ttl=2.0, now=0.5)
+
+
+def test_renew_extends_only_reported_active_tasks():
+    """A worker whose soak thread died keeps heartbeating but stops
+    listing the task — that lease must still expire."""
+    table = LeaseTable()
+    table.grant("alive", worker_id=0, ttl=1.0, now=0.0)
+    table.grant("wedged", worker_id=0, ttl=1.0, now=0.0)
+    renewed = table.renew(0, ["alive"], ttl=1.0, now=0.9)
+    assert renewed == 1
+    expired = table.expire(now=1.5)
+    assert [lease.task_id for lease in expired] == ["wedged"]
+    assert table.holder("alive") == 0
+
+
+def test_renew_ignores_other_workers_leases():
+    table = LeaseTable()
+    table.grant("t", worker_id=0, ttl=1.0, now=0.0)
+    assert table.renew(1, ["t"], ttl=1.0, now=0.5) == 0
+    assert table.expire(now=1.0) != []
+
+
+def test_release_is_idempotent():
+    table = LeaseTable()
+    table.grant("t", worker_id=0, ttl=1.0, now=0.0)
+    assert table.release("t") is True
+    assert table.release("t") is False
+    assert len(table) == 0
+
+
+def test_expire_pops_everything_past_deadline():
+    table = LeaseTable()
+    for index in range(3):
+        table.grant(f"t{index}", worker_id=index, ttl=1.0 + index, now=0.0)
+    expired = table.expire(now=2.0)
+    assert sorted(lease.task_id for lease in expired) == ["t0", "t1"]
+    assert len(table) == 1
+    assert table.holder("t2") == 2
+
+
+def test_held_by_lists_a_workers_leases():
+    table = LeaseTable()
+    table.grant("a", worker_id=0, ttl=5.0, now=0.0)
+    table.grant("b", worker_id=0, ttl=5.0, now=0.0)
+    table.grant("c", worker_id=1, ttl=5.0, now=0.0)
+    assert sorted(lease.task_id for lease in table.held_by(0)) == ["a", "b"]
+    assert [lease.task_id for lease in table.held_by(2)] == []

@@ -1,0 +1,98 @@
+"""MetricsLog: tail-able JSON lines, thread-safe, strict reader."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster.metrics import MetricsLog, read_metrics
+from repro.errors import ClusterError
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    with MetricsLog(path) as log:
+        log.write({"kind": "worker", "worker": 0, "inflight": 1})
+        log.write({"kind": "coordinator", "pending": 3})
+    records = read_metrics(path)
+    assert records == [
+        {"kind": "worker", "worker": 0, "inflight": 1},
+        {"kind": "coordinator", "pending": 3},
+    ]
+
+
+def test_each_record_is_one_flushed_line(tmp_path):
+    """tail -f semantics: every record is complete on disk the moment
+    write() returns, one line each."""
+    path = tmp_path / "metrics.jsonl"
+    log = MetricsLog(path)
+    log.write({"kind": "fault", "action": "loss"})
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["action"] == "loss"
+    log.close()
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "metrics.jsonl"
+    with MetricsLog(path) as log:
+        log.write({"kind": "worker"})
+    assert read_metrics(path) == [{"kind": "worker"}]
+
+
+def test_late_write_after_close_is_dropped(tmp_path):
+    """A straggler heartbeat after shutdown must not crash the handler
+    thread (nor land in the file)."""
+    path = tmp_path / "metrics.jsonl"
+    log = MetricsLog(path)
+    log.write({"kind": "worker"})
+    log.close()
+    log.write({"kind": "worker", "late": True})  # no error
+    log.close()  # idempotent
+    assert read_metrics(path) == [{"kind": "worker"}]
+
+
+def test_concurrent_writers_never_interleave(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    log = MetricsLog(path)
+    count = 200
+
+    def pump(writer):
+        for index in range(count):
+            log.write({"kind": "worker", "writer": writer, "index": index})
+
+    threads = [
+        threading.Thread(target=pump, args=(writer,)) for writer in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    log.close()
+    records = read_metrics(path)  # raises on any torn line
+    assert len(records) == 4 * count
+    for writer in range(4):
+        seen = [r["index"] for r in records if r["writer"] == writer]
+        assert seen == sorted(seen) == list(range(count))
+
+
+def test_read_metrics_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    path.write_text('{"kind":"worker"}\nnot json\n', encoding="utf-8")
+    with pytest.raises(ClusterError, match=":2:"):
+        read_metrics(path)
+
+
+def test_read_metrics_rejects_non_object_lines(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    path.write_text("[1,2,3]\n", encoding="utf-8")
+    with pytest.raises(ClusterError, match="not an object"):
+        read_metrics(path)
+
+
+def test_read_metrics_skips_blank_lines(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    path.write_text('\n{"kind":"worker"}\n\n', encoding="utf-8")
+    assert read_metrics(path) == [{"kind": "worker"}]

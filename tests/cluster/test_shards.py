@@ -1,0 +1,64 @@
+"""Shard planning: the task list is the whole contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.shards import ShardTask, plan_tasks
+from repro.errors import ConfigurationError
+from repro.net.harness import shard_sizes
+from repro.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return get_scenario("crowdsensing-baseline-t0").config
+
+
+def test_plan_tasks_single_round_matches_shard_sizes(baseline):
+    tasks = plan_tasks(baseline, shards=2)
+    assert [t.task_id for t in tasks] == ["r0-s0", "r0-s1"]
+    sizes = shard_sizes(baseline.receivers, 2)
+    assert [t.scenario.receivers for t in tasks] == sizes
+    assert sum(t.scenario.receivers for t in tasks) == baseline.receivers
+
+
+def test_plan_tasks_seed_ladder_matches_loadtest(baseline):
+    """Round r shard s runs at seed base + r*shards + s — at rounds=1
+    the exact ladder LoadTestConfig.scenario_for_shard uses."""
+    tasks = plan_tasks(baseline, shards=3, rounds=2)
+    assert len(tasks) == 6
+    for task in tasks:
+        expected = baseline.seed + task.round_index * 3 + task.shard
+        assert task.scenario.seed == expected
+    assert len({t.scenario.seed for t in tasks}) == 6
+
+
+def test_plan_tasks_round_major_ordering(baseline):
+    tasks = plan_tasks(baseline, shards=2, rounds=2)
+    assert [t.task_id for t in tasks] == [
+        "r0-s0",
+        "r0-s1",
+        "r1-s0",
+        "r1-s1",
+    ]
+
+
+def test_plan_tasks_pins_engine(baseline):
+    for engine in ("des", "vectorized"):
+        tasks = plan_tasks(baseline, shards=2, engine=engine)
+        assert all(t.scenario.engine == engine for t in tasks)
+
+
+def test_plan_tasks_rejects_bad_shard_counts(baseline):
+    with pytest.raises(ConfigurationError):
+        plan_tasks(baseline, shards=0)
+    with pytest.raises(ConfigurationError):
+        plan_tasks(baseline, shards=baseline.receivers + 1)
+
+
+def test_shard_task_is_frozen(baseline):
+    task = plan_tasks(baseline, shards=1)[0]
+    assert isinstance(task, ShardTask)
+    with pytest.raises(AttributeError):
+        task.shard = 9  # type: ignore[misc]

@@ -1,0 +1,21 @@
+"""Known-bad RPL004 fixture: raw fork primitives in coordinator-style
+code (checked as if it lived under ``repro/cluster/``). A forked child
+of the multi-threaded coordinator inherits held locks. Never imported
+— only parsed."""
+
+import multiprocessing
+import os
+from multiprocessing import set_start_method
+
+
+def spawn_worker_the_wrong_way():
+    pid = os.fork()
+    if pid == 0:
+        raise SystemExit(0)
+    return pid
+
+
+def pool_the_wrong_way():
+    set_start_method("fork")
+    context = multiprocessing.get_context("fork")
+    return context.Pool(2)

@@ -1,0 +1,19 @@
+"""Known-good RPL004 fixture: fresh worker processes via subprocess
+and the spawn start method — what the cluster coordinator actually
+does."""
+
+import multiprocessing
+import subprocess
+import sys
+
+
+def spawn_worker(host, port):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cluster.worker", "--connect",
+         f"{host}:{port}"]
+    )
+
+
+def pool():
+    context = multiprocessing.get_context("spawn")
+    return context.Pool(2)

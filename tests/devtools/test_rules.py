@@ -103,6 +103,48 @@ def test_rpl004_flags_initializer_lambda_in_any_call():
     assert len(violations) == 1
 
 
+def test_rpl004_cluster_fixture_flags_fork_primitives():
+    """The coordinator fixture: os.fork + set_start_method('fork') +
+    get_context('fork') are each one violation."""
+    violations = check_source(
+        fixture_source("rpl004_cluster", "bad"),
+        "repro/cluster/fixture_mod.py",
+        select=["RPL004"],
+    )
+    assert len(violations) == 3, [v.format() for v in violations]
+    messages = " ".join(v.message for v in violations)
+    assert "os.fork" in messages
+    assert "spawn" in messages
+
+
+def test_rpl004_cluster_fixture_spawn_style_passes():
+    violations = check_source(
+        fixture_source("rpl004_cluster", "good"),
+        "repro/cluster/fixture_mod.py",
+        select=["RPL004"],
+    )
+    assert violations == [], [v.format() for v in violations]
+
+
+def test_rpl004_spawn_context_is_allowed():
+    source = (
+        "import multiprocessing\n"
+        "ctx = multiprocessing.get_context('spawn')\n"
+    )
+    assert check_source(source, "repro/engine/x.py", select=["RPL004"]) == []
+
+
+def test_rpl004_flags_method_keyword_fork():
+    source = (
+        "from multiprocessing import set_start_method\n"
+        "set_start_method(method='fork')\n"
+    )
+    violations = check_source(
+        source, "repro/cluster/x.py", select=["RPL004"]
+    )
+    assert len(violations) == 1
+
+
 def test_rpl005_marker_applies_to_decorated_class():
     source = (
         "from dataclasses import dataclass\n"

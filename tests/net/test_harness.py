@@ -9,12 +9,15 @@ import pytest
 from repro.engine import ParallelExecutor, SerialExecutor
 from repro.errors import ConfigurationError
 from repro.net.harness import (
+    LOADTEST_SCHEMA_VERSION,
     LoadTestConfig,
+    LoadTestReport,
     derive_soak_world,
     merge_soaks,
     percentile,
     run_loadtest,
     run_loopback_soak,
+    shard_sizes,
 )
 from repro.sim.scenario import ScenarioConfig
 
@@ -196,3 +199,83 @@ class TestSoakResultProperties:
         assert result.authentication_rate == result.fleet.mean_authentication_rate
         assert result.attack_success_rate == result.fleet.mean_attack_success_rate
         assert result.simulated_seconds > 0
+
+
+class TestShardSizes:
+    def test_round_robin_balances(self):
+        assert shard_sizes(10, 4) == [3, 3, 2, 2]
+        assert shard_sizes(7, 3) == [3, 2, 2]
+        assert shard_sizes(4, 4) == [1, 1, 1, 1]
+        assert shard_sizes(5, 1) == [5]
+
+    def test_partition_property(self):
+        """Sizes always sum to the population and never differ by more
+        than one — no shard is starved however uneven the division."""
+        for receivers in range(1, 40):
+            for shards in range(1, receivers + 1):
+                sizes = shard_sizes(receivers, shards)
+                assert sum(sizes) == receivers
+                assert max(sizes) - min(sizes) <= 1
+                assert sizes == sorted(sizes, reverse=True)
+
+    def test_matches_scenario_for_shard(self):
+        config = LoadTestConfig(receivers=7, shards=3)
+        assert [
+            config.scenario_for_shard(s).receivers for s in range(3)
+        ] == shard_sizes(7, 3)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            shard_sizes(5, 0)
+        with pytest.raises(ConfigurationError):
+            shard_sizes(2, 3)
+
+
+class TestReportSchema:
+    REPORT = LoadTestReport(
+        transport="loopback",
+        protocol="dap",
+        receivers=4,
+        shards=2,
+        intervals=16,
+        sent_authentic=14,
+        authentication_rate=1.0,
+        attack_success_rate=0.0,
+        forged_accepted=0,
+        peak_buffer_bits=1024,
+        packets_sent=56,
+        packets_injected=0,
+        datagrams_delivered=56,
+        datagrams_dropped=0,
+        datagrams_duplicated=0,
+        datagrams_reordered=0,
+        malformed=0,
+        packets_per_second=100.0,
+        latency_p50_us=10.0,
+        latency_p99_us=20.0,
+        latency_samples=56,
+        simulated_seconds=1.6,
+        wall_seconds=0.5,
+    )
+
+    def test_to_dict_carries_schema_version(self):
+        data = self.REPORT.to_dict()
+        assert data["schema_version"] == LOADTEST_SCHEMA_VERSION == 1
+
+    def test_round_trip_through_json(self):
+        data = json.loads(self.REPORT.to_json())
+        assert LoadTestReport.from_dict(data) == self.REPORT
+
+    def test_from_dict_ignores_unknown_keys(self):
+        """Forward compatibility: a report written by a newer schema
+        (extra fields, bumped version) still loads."""
+        data = self.REPORT.to_dict()
+        data["schema_version"] = 99
+        data["a_future_field"] = "ignored"
+        assert LoadTestReport.from_dict(data) == self.REPORT
+
+    def test_from_dict_names_missing_fields(self):
+        data = self.REPORT.to_dict()
+        del data["peak_buffer_bits"]
+        with pytest.raises(ConfigurationError, match="peak_buffer_bits"):
+            LoadTestReport.from_dict(data)

@@ -88,3 +88,105 @@ class TestActiveSlot:
         finally:
             assert perf.disable() is registry
         assert perf.ACTIVE is None
+
+
+class TestConcurrency:
+    """The registry is shared by a worker's soak + heartbeat threads;
+    reset() exports deltas that must neither drop nor double-count."""
+
+    def test_concurrent_incr_is_lossless(self):
+        import threading
+
+        registry = PerfRegistry()
+        producers, per_producer = 4, 2000
+
+        def pump():
+            for _ in range(per_producer):
+                registry.incr("events")
+
+        threads = [threading.Thread(target=pump) for _ in range(producers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("events") == producers * per_producer
+
+    def test_reset_deltas_partition_the_stream(self):
+        """Every increment lands in exactly one exported delta: the sum
+        of all reset() snapshots plus the final state equals the total,
+        however the resets interleave with the producers."""
+        import threading
+
+        registry = PerfRegistry()
+        producers, per_producer = 4, 2000
+        deltas = []
+        stop = threading.Event()
+
+        def pump():
+            for _ in range(per_producer):
+                registry.incr("events")
+                registry.observe("w", 1.0)
+
+        def reaper():
+            while not stop.is_set():
+                deltas.append(registry.reset())
+            deltas.append(registry.reset())
+
+        threads = [threading.Thread(target=pump) for _ in range(producers)]
+        collector = threading.Thread(target=reaper)
+        collector.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        collector.join()
+
+        total = producers * per_producer
+        counted = sum(d["counters"].get("events", 0) for d in deltas)
+        observed = sum(
+            d["observations"].get("w", {}).get("count", 0) for d in deltas
+        )
+        assert counted == total
+        assert observed == total
+        assert registry.counter("events") == 0  # fully drained
+
+    def test_reset_returns_snapshot_and_clears(self):
+        registry = PerfRegistry()
+        registry.incr("c", 3)
+        registry.observe("o", 2.0)
+        with registry.timer("t"):
+            pass
+        delta = registry.reset()
+        assert delta["counters"] == {"c": 3}
+        assert delta["observations"]["o"]["count"] == 1
+        assert "t" in delta["timers"]
+        assert registry.snapshot() == {
+            "counters": {}, "observations": {}, "timers": {}
+        }
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_module_helpers_never_touch_a_registry(self):
+        """The zero-overhead invariant: with no ACTIVE registry the
+        module-level helpers return before any registry call — pinned
+        by making every registry method explode."""
+
+        class Tripwire(PerfRegistry):
+            def incr(self, name, amount=1):  # pragma: no cover
+                raise AssertionError("registry touched while disabled")
+
+            def observe(self, name, value):  # pragma: no cover
+                raise AssertionError("registry touched while disabled")
+
+        assert perf.ACTIVE is None
+        perf.incr("ignored")
+        perf.observe("ignored", 1.0)
+        # And the same calls do reach an enabled registry:
+        registry = Tripwire()
+        perf.enable(registry)
+        try:
+            with pytest.raises(AssertionError):
+                perf.incr("now-it-counts")
+        finally:
+            perf.disable()
