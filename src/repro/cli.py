@@ -223,8 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=ENGINES,
         default=None,
         help="scenario engine: event-driven simulation, or the array"
-        " fleet engine (bit-identical for dap/tesla_pp, ~20x faster;"
-        " other protocols fall back to des)",
+        " fleet engine (bit-identical for every protocol family,"
+        " ~20x faster)",
     )
     _add_engine_flags(simulate)
 
@@ -570,6 +570,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=3,
         help="best-of repetitions per timed section",
+    )
+    bench.add_argument(
+        "--receivers",
+        type=_positive_int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="sim suite only: receiver counts for the scaling axis"
+        " (per-count sharded fleet runs with wall time and peak RSS;"
+        " DES-compared up to 10^4 receivers, fleet-only beyond)",
     )
 
     lint = sub.add_parser(
@@ -1083,13 +1093,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     json_path = args.json_path or Path(f"BENCH_{args.suite}.json")
     if args.suite == "sim":
-        document = run_sim_bench(preset=args.preset, repeat=args.repeat)
+        document = run_sim_bench(
+            preset=args.preset,
+            repeat=args.repeat,
+            receivers=args.receivers,
+        )
         write_bench_json(json_path, document)
         for name, section in sorted(document["results"].items()):
             print(
                 f"{name:<30}: {section['speedup']:.2f}x"
                 f" (des {section['des_wall_seconds']}s,"
                 f" vectorized {section['vectorized_wall_seconds']}s)"
+            )
+        for entry in document.get("receivers_scaling", {}).get("entries", ()):
+            label = f"scaling@{entry['receivers']}"
+            speedup = (
+                f"{entry['speedup']:.2f}x vs des"
+                if "speedup" in entry
+                else "fleet-only"
+            )
+            print(
+                f"{label:<30}: {speedup}"
+                f" (wall {entry['vectorized_wall_seconds']}s,"
+                f" peak rss {entry['peak_rss_kb']} KB,"
+                f" shards {entry['shards']})"
             )
         print(f"wrote {json_path}")
         return 0

@@ -33,7 +33,7 @@ import multiprocessing
 import os
 import sys
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, TaskError
 from repro.engine.spec import ExperimentSpec
@@ -55,6 +55,20 @@ class Executor:
 
     def run(self, spec: ExperimentSpec) -> List[Any]:
         """Run every task of ``spec``; results in task order."""
+        raise NotImplementedError
+
+    def stream(self, spec: ExperimentSpec) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(task_index, result)`` pairs as tasks complete.
+
+        The streaming counterpart of :meth:`run` for reductions that
+        fold results one at a time instead of holding the whole result
+        list — the fleet engine merges per-shard summaries this way so
+        peak memory tracks one shard, not the fleet. Serial executors
+        yield in task order; parallel executors yield in completion
+        order (the index tells the consumer which task finished).
+        Failures raise the same labelled :class:`TaskError` as
+        :meth:`run`.
+        """
         raise NotImplementedError
 
     @staticmethod
@@ -79,6 +93,16 @@ class SerialExecutor(Executor):
             except Exception as exc:
                 raise self._task_error(spec, index, exc) from exc
         return results
+
+    def stream(self, spec: ExperimentSpec) -> Iterator[Tuple[int, Any]]:
+        for index, task in enumerate(spec.tasks):
+            try:
+                result = spec.fn(task)
+            # Executor fault boundary (RPL006-conformant): wrap and
+            # re-raise with the failing task's label.
+            except Exception as exc:
+                raise self._task_error(spec, index, exc) from exc
+            yield index, result
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -175,6 +199,39 @@ class ParallelExecutor(Executor):
                     pending.cancel()
                 raise self._task_error(spec, index, exc) from exc
         return results
+
+    def stream(self, spec: ExperimentSpec) -> Iterator[Tuple[int, Any]]:
+        # Same single-task shortcut as run(): no pickle round trip when
+        # there is nothing to overlap.
+        if len(spec) == 1 or self.jobs == 1:
+            yield from SerialExecutor().stream(spec)
+            return
+        pool = self._ensure_pool()
+        try:
+            futures = {
+                pool.submit(spec.fn, task): index
+                for index, task in enumerate(spec.tasks)
+            }
+        except BrokenProcessPool as exc:
+            self.close()
+            raise self._task_error(spec, 0, exc) from exc
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    self.close()
+                    raise self._task_error(spec, index, exc) from exc
+                # Executor fault boundary (RPL006-conformant): wrap the
+                # failure into a labelled TaskError; the finally clause
+                # below cancels whatever has not started yet.
+                except Exception as exc:
+                    raise self._task_error(spec, index, exc) from exc
+                yield index, result
+        finally:
+            for pending in futures:
+                pending.cancel()
 
     def close(self) -> None:
         """Shut the warm pool down; the next :meth:`run` recreates it."""

@@ -30,9 +30,14 @@ Sections:
 A second suite, :func:`run_sim_bench` (``repro bench --suite sim``,
 ``BENCH_sim.json``), measures the vectorized fleet engine
 (:mod:`repro.sim.fleet`) against the event-driven simulator on
-fig5-style fleets and asserts the two produced identical summaries —
-the artifact's speedup claim is only meaningful because equality is
-checked in the same run.
+fig5-style fleets — every catalog protocol family — and asserts the
+two produced identical summaries; the artifact's speedup claim is only
+meaningful because equality is checked in the same run. Passing
+``receivers`` (CLI ``--receivers``) adds a receivers-scaling axis:
+per-count sharded fleet runs with wall time and peak RSS
+(``resource.getrusage`` high-water, KB), DES-compared up to
+:data:`DES_PARITY_MAX_RECEIVERS` and fleet-only beyond it, which is
+how the checked-in 10^6-receiver fig5 entry is produced.
 """
 
 from __future__ import annotations
@@ -40,9 +45,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform
+import resource
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.crypto.kernels import ChainWalkCache, set_kernels_enabled
 from repro.crypto.keychain import KeyChain, KeyChainAuthenticator
@@ -56,6 +62,7 @@ from repro.sim.scenario import ScenarioConfig, run_scenario
 
 __all__ = [
     "BENCH_PRESETS",
+    "DES_PARITY_MAX_RECEIVERS",
     "SCENARIO_PRESETS",
     "SIM_BENCH_PRESETS",
     "run_bench",
@@ -96,22 +103,37 @@ BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
 
 
 #: Sim-suite presets: the fig5-t2 catalog entry scaled up to
-#: crowd-sized fleets, for both fast-path protocols.
+#: crowd-sized fleets, one section per catalog protocol family member
+#: (the fast path is catalog-complete).
 _FIG5 = get_scenario("fig5-t2").config
+_SIM_PROTOCOLS = (
+    "dap", "tesla_pp", "tesla", "mu_tesla", "multilevel", "eftp", "edrp",
+)
 SIM_BENCH_PRESETS: Dict[str, Dict[str, ScenarioConfig]] = {
     "smoke": {
-        "fleet_dap": dataclasses.replace(_FIG5, intervals=20, receivers=50),
-        "fleet_tesla_pp": dataclasses.replace(
-            _FIG5, protocol="tesla_pp", intervals=20, receivers=50
-        ),
+        f"fleet_{protocol}": dataclasses.replace(
+            _FIG5, protocol=protocol, intervals=20, receivers=50
+        )
+        for protocol in _SIM_PROTOCOLS
     },
     "full": {
-        "fleet_dap": dataclasses.replace(_FIG5, receivers=100),
-        "fleet_tesla_pp": dataclasses.replace(
-            _FIG5, protocol="tesla_pp", receivers=100
-        ),
+        f"fleet_{protocol}": dataclasses.replace(
+            _FIG5, protocol=protocol, receivers=100
+        )
+        for protocol in _SIM_PROTOCOLS
     },
 }
+
+#: Largest receiver count the scaling axis still DES-references. Above
+#: this the event-driven run would dominate the suite by hours, so the
+#: entries are fleet-only (parity at these sizes is pinned per shard
+#: count by the invariance tests instead).
+DES_PARITY_MAX_RECEIVERS = 10_000
+
+#: Receiver-axis shard span for scaling runs: keeps the per-shard
+#: unpacked delivery slice (slots x span booleans) bounded regardless
+#: of fleet size.
+_SCALING_SHARD_SPAN = 62_500
 
 
 def _best_rate(fn: Callable[[], int], repeat: int) -> float:
@@ -372,11 +394,100 @@ def _bench_fleet(config: ScenarioConfig, repeat: int) -> Dict[str, Any]:
     }
 
 
-def run_sim_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
+def _peak_rss_kb() -> int:
+    """The process peak-RSS high-water mark in KB (Linux ``ru_maxrss``)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _bench_receivers_scaling(
+    receivers: Sequence[int], repeat: int
+) -> Dict[str, Any]:
+    """The receivers-scaling axis: fig5-style fleets at growing sizes.
+
+    Each count runs the vectorized engine sharded (spans of
+    :data:`_SCALING_SHARD_SPAN` receivers) with streaming aggregate
+    reduction, recording wall time and the process peak RSS after the
+    run. Counts up to :data:`DES_PARITY_MAX_RECEIVERS` also run the DES
+    once and check summary parity, so the recorded speedups stay
+    checked facts; larger counts are fleet-only.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so per-entry
+    values are monotone within one suite invocation — the flat-memory
+    claim is that the mark barely moves as counts grow 100x, which is
+    exactly what the streaming reduction buys.
+    """
+    from repro.sim.fleet import run_fleet_scenario
+    from repro.sim.metrics import FleetAggregate
+
+    entries = []
+    for count in receivers:
+        if count < 1:
+            raise ConfigurationError(f"receivers must be >= 1, got {count}")
+        config = dataclasses.replace(
+            _FIG5, receivers=count, engine="vectorized"
+        )
+        shards = max(1, -(-count // _SCALING_SHARD_SPAN))
+        vec_wall = float("inf")
+        vec_result = None
+        runs = repeat if count <= DES_PARITY_MAX_RECEIVERS else 1
+        for _ in range(runs):
+            started = time.perf_counter()
+            vec_result = run_fleet_scenario(
+                config, shards=shards, summary="aggregate"
+            )
+            vec_wall = min(vec_wall, time.perf_counter() - started)
+        assert vec_result is not None
+        entry: Dict[str, Any] = {
+            "protocol": config.protocol,
+            "receivers": count,
+            "intervals": config.intervals,
+            "shards": shards,
+            "vectorized_wall_seconds": round(vec_wall, 4),
+            "peak_rss_kb": _peak_rss_kb(),
+            "mean_authentication_rate": round(
+                vec_result.fleet.mean_authentication_rate, 6
+            ),
+        }
+        if count <= DES_PARITY_MAX_RECEIVERS:
+            started = time.perf_counter()
+            des_result = run_scenario(
+                dataclasses.replace(config, engine="des")
+            )
+            des_wall = time.perf_counter() - started
+            if (
+                FleetAggregate.from_summary(des_result.fleet)
+                != vec_result.fleet
+            ):
+                raise ReproError(
+                    "vectorized fleet engine diverged from the DES at"
+                    f" {count} receivers: the engines are not bit-identical"
+                )
+            entry["des_wall_seconds"] = round(des_wall, 4)
+            entry["speedup"] = (
+                round(des_wall / vec_wall, 3) if vec_wall else 0.0
+            )
+            entry["identical_summaries"] = True
+        entries.append(entry)
+    return {"config": "fig5-t2", "entries": entries}
+
+
+def run_sim_bench(
+    preset: str = "smoke",
+    repeat: int = 3,
+    receivers: Optional[Sequence[int]] = None,
+) -> Dict[str, Any]:
     """Run the sim suite: vectorized fleet engine vs the DES.
 
+    Args:
+        preset: per-protocol comparison sizing (``smoke``/``full``).
+        repeat: best-of repetitions per timed run.
+        receivers: optional receiver counts for the scaling axis (e.g.
+            ``[100, 10_000, 1_000_000]``); adds a ``receivers_scaling``
+            section with per-count wall time and peak RSS.
+
     Raises:
-        ConfigurationError: for unknown presets or non-positive repeat.
+        ConfigurationError: for unknown presets, non-positive repeat,
+            or non-positive receiver counts.
         ReproError: if any vectorized run diverges from its DES
             reference (the parity tripwire).
     """
@@ -391,13 +502,18 @@ def run_sim_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
         name: _bench_fleet(config, repeat)
         for name, config in sorted(SIM_BENCH_PRESETS[preset].items())
     }
-    return {
+    document: Dict[str, Any] = {
         "suite": "sim",
         "preset": preset,
         "repeat": repeat,
         "python": platform.python_version(),
         "results": results,
     }
+    if receivers:
+        document["receivers_scaling"] = _bench_receivers_scaling(
+            receivers, repeat
+        )
+    return document
 
 
 def write_bench_json(path: Path, document: Dict[str, Any]) -> None:

@@ -19,14 +19,6 @@ from repro.scenarios.registry import register_scenario
 from repro.scenarios.tiers import tier
 from repro.sim.scenario import ScenarioConfig
 
-#: Why the single- and multi-level families run des-only (ROADMAP
-#: item 1 tracks growing the fast path beyond the two-phase family).
-_FAST_PATH_EXCLUSION = (
-    "the vectorized fleet engine covers the two-phase family only"
-    " (dap, tesla_pp); this protocol falls back to the DES"
-)
-
-
 # --------------------------------------------------------------------
 # Crowdsensing: the paper's own setting (ICDCS'16 §VI).
 # --------------------------------------------------------------------
@@ -141,8 +133,6 @@ def _fig8_naive_t3() -> ScenarioConfig:
     name="crowdsensing-tesla-t2",
     tier="T2",
     seeds=(7, 11),
-    engines=("des",),
-    engine_exclusion=_FAST_PATH_EXCLUSION,
     provenance="single-level TESLA baseline at the Fig. 5 operating"
     " point (full-width records, per-packet disclosure)",
 )
@@ -153,11 +143,24 @@ def _crowdsensing_tesla_t2() -> ScenarioConfig:
 
 
 @register_scenario(
+    name="crowdsensing-mu-tesla-t2",
+    tier="T2",
+    seeds=(7, 11),
+    provenance="μTESLA baseline at the Fig. 5 operating point"
+    " (standalone key-disclosure packets, sensor-grade widths)",
+)
+def _crowdsensing_mu_tesla_t2() -> ScenarioConfig:
+    return tier("T2").apply(
+        ScenarioConfig(
+            protocol="mu_tesla", intervals=30, receivers=5, buffers=4
+        )
+    )
+
+
+@register_scenario(
     name="crowdsensing-multilevel-t1",
     tier="T1",
     seeds=(7, 11),
-    engines=("des",),
-    engine_exclusion=_FAST_PATH_EXCLUSION,
     provenance="multi-level μTESLA with CDM buffers under the probing"
     " attacker",
 )
@@ -166,6 +169,33 @@ def _crowdsensing_multilevel_t1() -> ScenarioConfig:
         ScenarioConfig(
             protocol="multilevel", intervals=30, receivers=5, buffers=4
         )
+    )
+
+
+@register_scenario(
+    name="crowdsensing-eftp-t2",
+    tier="T2",
+    seeds=(7, 11),
+    provenance="EFTP wiring (anchor offset 0) under the sustained"
+    " flood — the CDM-recovery variant's Fig. 5-grade point",
+)
+def _crowdsensing_eftp_t2() -> ScenarioConfig:
+    return tier("T2").apply(
+        ScenarioConfig(protocol="eftp", intervals=30, receivers=5, buffers=4)
+    )
+
+
+@register_scenario(
+    name="crowdsensing-edrp-storm-t3",
+    tier="T3",
+    seeds=(7,),
+    provenance="EDRP hash-chained CDMs in the hostile regime: p=0.8"
+    " flood plus bursty fades, where the pin fast-path and commitment"
+    " recovery both matter",
+)
+def _crowdsensing_edrp_storm_t3() -> ScenarioConfig:
+    return tier("T3").apply(
+        ScenarioConfig(protocol="edrp", intervals=30, receivers=5, buffers=13)
     )
 
 

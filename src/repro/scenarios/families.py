@@ -91,9 +91,10 @@ MULTI_LEVEL: Tuple[str, ...] = protocols_in_family(FAMILY_MULTI_LEVEL)
 #: array-structured fast path in :mod:`repro.sim.fleet`.
 ENGINES: Tuple[str, ...] = ("des", "vectorized")
 
-#: Protocols the vectorized fleet engine covers today (the paper's §IV
-#: two-phase family; ROADMAP item 1 grows this set).
-VECTORIZED_PROTOCOLS: Tuple[str, ...] = TWO_PHASE
+#: Protocols the vectorized fleet engine covers: the full catalog —
+#: every family replays byte-identically to the DES at equal seeds
+#: (``tests/sim/test_fleet.py`` pins the parity per family).
+VECTORIZED_PROTOCOLS: Tuple[str, ...] = ALL_PROTOCOLS
 
 #: Protocols the live testbed (:mod:`repro.net`) can drive: the wire
 #: codec covers every family, the daemon builders only the two-phase.

@@ -201,7 +201,9 @@ def gilbert_elliott_drop_mask(
     p_bad_to_good: float,
     loss_good: float = 0.0,
     loss_bad: float = 1.0,
-) -> np.ndarray:
+    initial_bad: np.ndarray | None = None,
+    return_state: bool = False,
+) -> "np.ndarray | tuple[np.ndarray, np.ndarray]":
     """Vectorized Gilbert–Elliott sampling over many independent lanes.
 
     ``uniforms`` has shape ``(steps, lanes, 2)``: per decision, draw 0
@@ -209,8 +211,12 @@ def gilbert_elliott_drop_mask(
     order of :meth:`GilbertElliottLoss.should_drop`, so feeding the
     pre-drawn stream of a ``random.Random`` reproduces the scalar
     per-lane drop sequence bit for bit. Every lane starts GOOD, as a
-    fresh :class:`GilbertElliottLoss` does. Returns a ``(steps, lanes)``
-    boolean drop mask.
+    fresh :class:`GilbertElliottLoss` does, unless ``initial_bad`` (a
+    ``(lanes,)`` boolean array) resumes each lane mid-stream — the seam
+    block-wise mask generators use to process an unbounded step axis in
+    bounded memory. Returns a ``(steps, lanes)`` boolean drop mask, or
+    a ``(drops, final_bad)`` pair when ``return_state`` is true so the
+    caller can carry the per-lane channel state into the next block.
     """
     u = np.asarray(uniforms, dtype=np.float64)
     if u.ndim != 3 or u.shape[2] != 2:
@@ -218,7 +224,15 @@ def gilbert_elliott_drop_mask(
             f"uniforms must have shape (steps, lanes, 2), got {u.shape}"
         )
     steps, lanes, _ = u.shape
-    bad = np.zeros(lanes, dtype=bool)
+    if initial_bad is None:
+        bad = np.zeros(lanes, dtype=bool)
+    else:
+        bad = np.asarray(initial_bad, dtype=bool)
+        if bad.shape != (lanes,):
+            raise ConfigurationError(
+                f"initial_bad must have shape ({lanes},), got {bad.shape}"
+            )
+        bad = bad.copy()
     drops = np.empty((steps, lanes), dtype=bool)
     for step in range(steps):
         transition = u[step, :, 0]
@@ -227,4 +241,6 @@ def gilbert_elliott_drop_mask(
         bad = np.where(bad, transition >= p_bad_to_good, transition < p_good_to_bad)
         loss = np.where(bad, loss_bad, loss_good)
         drops[step] = u[step, :, 1] < loss
+    if return_state:
+        return drops, bad
     return drops

@@ -18,6 +18,7 @@ from repro.sim.nodes import ReceiverNode
 __all__ = [
     "NodeSummary",
     "FleetSummary",
+    "FleetAggregate",
     "summary_from_stats",
     "summarise_nodes",
     "fleet_summary_from_arrays",
@@ -102,6 +103,106 @@ class FleetSummary:
     def peak_buffer_bits(self) -> int:
         """Largest per-node buffer footprint observed."""
         return max((node.peak_buffer_bits for node in self.nodes), default=0)
+
+
+@dataclass(frozen=True)
+class FleetAggregate:
+    """Streaming-reduction fleet summary: totals only, no per-node rows.
+
+    :class:`FleetSummary` keeps one :class:`NodeSummary` per receiver —
+    at 10^6 receivers that alone is hundreds of MB. The fleet engine's
+    ``summary="aggregate"`` mode folds each shard's counters into this
+    fixed-size record instead, so peak memory tracks one shard. The
+    rate properties mirror :class:`FleetSummary`'s API; because every
+    receiver shares one ``sent_authentic`` denominator, the mean of
+    per-node rates equals the ratio of totals.
+    """
+
+    node_count: int
+    sent_authentic: int
+    total_authenticated: int
+    total_lost_no_record: int
+    total_rejected_forged: int
+    total_rejected_weak_auth: int
+    total_discarded_unsafe: int
+    total_forged_accepted: int
+    total_packets_received: int
+    peak_buffer_bits: int
+
+    @classmethod
+    def empty(cls, sent_authentic: int) -> "FleetAggregate":
+        """The identity element for :meth:`merged_with`."""
+        return cls(
+            node_count=0,
+            sent_authentic=int(sent_authentic),
+            total_authenticated=0,
+            total_lost_no_record=0,
+            total_rejected_forged=0,
+            total_rejected_weak_auth=0,
+            total_discarded_unsafe=0,
+            total_forged_accepted=0,
+            total_packets_received=0,
+            peak_buffer_bits=0,
+        )
+
+    @classmethod
+    def from_summary(cls, summary: "FleetSummary") -> "FleetAggregate":
+        """Collapse an exact per-node summary (for equivalence checks)."""
+        return cls(
+            node_count=summary.node_count,
+            sent_authentic=summary.sent_authentic,
+            total_authenticated=summary.total_authenticated,
+            total_lost_no_record=sum(n.lost_no_record for n in summary.nodes),
+            total_rejected_forged=sum(n.rejected_forged for n in summary.nodes),
+            total_rejected_weak_auth=sum(
+                n.rejected_weak_auth for n in summary.nodes
+            ),
+            total_discarded_unsafe=sum(n.discarded_unsafe for n in summary.nodes),
+            total_forged_accepted=summary.total_forged_accepted,
+            total_packets_received=sum(n.packets_received for n in summary.nodes),
+            peak_buffer_bits=summary.peak_buffer_bits,
+        )
+
+    def merged_with(self, other: "FleetAggregate") -> "FleetAggregate":
+        """Fold another shard's totals in (counters add, peaks max)."""
+        if other.sent_authentic != self.sent_authentic:
+            raise ConfigurationError(
+                "cannot merge aggregates with different sent_authentic"
+                f" ({self.sent_authentic} vs {other.sent_authentic})"
+            )
+        return FleetAggregate(
+            node_count=self.node_count + other.node_count,
+            sent_authentic=self.sent_authentic,
+            total_authenticated=self.total_authenticated
+            + other.total_authenticated,
+            total_lost_no_record=self.total_lost_no_record
+            + other.total_lost_no_record,
+            total_rejected_forged=self.total_rejected_forged
+            + other.total_rejected_forged,
+            total_rejected_weak_auth=self.total_rejected_weak_auth
+            + other.total_rejected_weak_auth,
+            total_discarded_unsafe=self.total_discarded_unsafe
+            + other.total_discarded_unsafe,
+            total_forged_accepted=self.total_forged_accepted
+            + other.total_forged_accepted,
+            total_packets_received=self.total_packets_received
+            + other.total_packets_received,
+            peak_buffer_bits=max(self.peak_buffer_bits, other.peak_buffer_bits),
+        )
+
+    @property
+    def mean_authentication_rate(self) -> float:
+        """Fleet-average authentication rate (ratio of totals)."""
+        if self.node_count <= 0 or self.sent_authentic <= 0:
+            return 0.0
+        return self.total_authenticated / (self.node_count * self.sent_authentic)
+
+    @property
+    def mean_attack_success_rate(self) -> float:
+        """Fleet-average fraction of authentic messages the flood killed."""
+        if self.node_count <= 0 or self.sent_authentic <= 0:
+            return 0.0
+        return self.total_lost_no_record / (self.node_count * self.sent_authentic)
 
 
 def _stat(receiver_stats, outcome: AuthOutcome) -> int:

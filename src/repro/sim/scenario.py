@@ -114,9 +114,8 @@ class ScenarioConfig:
             (builders in :mod:`repro.sim.workloads`).
         seed: master seed (crypto seeds, channel loss, reservoirs).
         engine: ``"des"`` (event-driven reference) or ``"vectorized"``
-            (:mod:`repro.sim.fleet` array engine; identical summaries
-            at equal seeds for the two-phase family, automatic DES
-            fallback elsewhere).
+            (:mod:`repro.sim.fleet` array engine; byte-identical
+            summaries at equal seeds for every protocol family).
     """
 
     protocol: str = "dap"

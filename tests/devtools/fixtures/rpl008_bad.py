@@ -1,0 +1,26 @@
+"""Known-bad corpus for RPL008: shared-memory blocks that leak."""
+
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload: bytes) -> str:
+    # Created and closed, but never unlinked: the /dev/shm segment
+    # outlives the process.
+    block = SharedMemory(create=True, size=len(payload))
+    try:
+        block.buf[: len(payload)] = payload
+        return block.name
+    finally:
+        block.close()
+
+
+def attach(name: str) -> bytes:
+    # Attached but never closed: the mapping stays pinned.
+    block = shared_memory.SharedMemory(name=name)
+    return bytes(block.buf)
+
+
+def peek(name: str) -> int:
+    # Anonymous block: nothing can ever close it.
+    return len(SharedMemory(name=name).buf)

@@ -1,0 +1,31 @@
+"""Known-good corpus for RPL008: every block released in finally."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def roundtrip(payload: bytes) -> bytes:
+    # Create-side hygiene: close AND unlink in the finally.
+    block = SharedMemory(create=True, size=len(payload))
+    try:
+        block.buf[: len(payload)] = payload
+        out = bytes(block.buf[: len(payload)])
+    finally:
+        block.close()
+        block.unlink()
+    return out
+
+
+def attach(name: str) -> bytes:
+    # Attach-side hygiene: close (never unlink — the creator owns the
+    # segment's lifetime).
+    block = SharedMemory(name=name)
+    try:
+        return bytes(block.buf)
+    finally:
+        block.close()
+
+
+def open_block(name: str) -> SharedMemory:
+    # Direct return transfers ownership to the caller, where the rule
+    # applies to the binding again.
+    return SharedMemory(name=name)

@@ -9,8 +9,11 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.perf.bench import (
     BENCH_PRESETS,
+    DES_PARITY_MAX_RECEIVERS,
     SCENARIO_PRESETS,
+    SIM_BENCH_PRESETS,
     run_bench,
+    run_sim_bench,
     write_bench_json,
 )
 
@@ -72,3 +75,38 @@ class TestRunBench:
         loaded = json.loads(path.read_text())
         assert loaded["preset"] == "smoke"
         assert path.read_text().endswith("\n")
+
+
+class TestSimBenchReceiversScaling:
+    def test_sim_presets_cover_every_protocol_family(self):
+        from repro.scenarios.families import ALL_PROTOCOLS
+
+        for sizes in SIM_BENCH_PRESETS.values():
+            assert set(sizes) == {f"fleet_{p}" for p in ALL_PROTOCOLS}
+
+    def test_scaling_axis_schema_and_parity(self):
+        document = run_sim_bench(
+            preset="smoke", repeat=1, receivers=[20, 50]
+        )
+        scaling = document["receivers_scaling"]
+        assert scaling["config"] == "fig5-t2"
+        entries = scaling["entries"]
+        assert [entry["receivers"] for entry in entries] == [20, 50]
+        for entry in entries:
+            assert entry["vectorized_wall_seconds"] > 0
+            assert entry["peak_rss_kb"] > 0
+            assert entry["shards"] >= 1
+            assert 0.0 <= entry["mean_authentication_rate"] <= 1.0
+            # Both counts sit under the DES-parity ceiling, so the
+            # speedup is a checked fact, not a projection.
+            assert entry["receivers"] <= DES_PARITY_MAX_RECEIVERS
+            assert entry["identical_summaries"] is True
+            assert entry["speedup"] > 0
+
+    def test_no_scaling_section_without_receivers(self):
+        document = run_sim_bench(preset="smoke", repeat=1)
+        assert "receivers_scaling" not in document
+
+    def test_rejects_non_positive_receiver_counts(self):
+        with pytest.raises(ConfigurationError):
+            run_sim_bench(preset="smoke", repeat=1, receivers=[100, 0])

@@ -45,7 +45,16 @@ def test_report_shape_for_dual_engine_entry():
 
 
 def test_report_shape_for_des_only_entry():
-    descriptor = get_scenario("crowdsensing-tesla-t2")
+    # The catalog is vectorized-complete, so synthesise a des-only
+    # descriptor (constructed directly, as registration would demand a
+    # dual-engine declaration for an on-fast-path protocol).
+    base = get_scenario("crowdsensing-tesla-t2")
+    descriptor = replace(
+        base,
+        name="contract-test-des-only",
+        engines=("des",),
+        engine_exclusion="synthetic des-only entry for report-shape test",
+    )
     report = validate_scenario(descriptor, seeds=QUICK_SEED)
     assert report.passed
     assert report.engines == ("des",)

@@ -56,7 +56,7 @@ class TestMapping:
             protocols_in_family("no-such-family")
 
     def test_engine_subsets(self):
-        assert VECTORIZED_PROTOCOLS == TWO_PHASE
+        assert VECTORIZED_PROTOCOLS == ALL_PROTOCOLS
         assert NET_PROTOCOLS == TWO_PHASE
         assert ENGINES == ("des", "vectorized")
 

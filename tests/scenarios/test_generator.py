@@ -81,17 +81,19 @@ class TestGridMode:
         second = [d.name for d in generate_scenarios(spec)]
         assert first == second
 
-    def test_protocol_axis_off_fast_path_drops_vectorized(self):
+    def test_protocol_axis_keeps_vectorized_for_all_families(self):
+        # The fast path is catalog-complete: a protocol axis no longer
+        # drops the vectorized declaration for any family.
         spec = GeneratorSpec(
-            base="smoke-t2", axes=(("protocol", ("dap", "tesla")),)
+            base="smoke-t2",
+            axes=(("protocol", ("dap", "tesla", "multilevel")),),
         )
         by_protocol = {
             d.config.protocol: d for d in generate_scenarios(spec)
         }
-        assert "vectorized" in by_protocol["dap"].engines
-        assert by_protocol["dap"].engine_exclusion is None
-        assert by_protocol["tesla"].engines == ("des",)
-        assert "fast path" in by_protocol["tesla"].engine_exclusion
+        for protocol in ("dap", "tesla", "multilevel"):
+            assert "vectorized" in by_protocol[protocol].engines
+            assert by_protocol[protocol].engine_exclusion is None
 
 
 class TestRandomMode:

@@ -105,11 +105,15 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="unknown engine"):
             self._attempt(engines=("des", "quantum"))
 
-    def test_vectorized_requires_fast_path_protocol(self):
-        with pytest.raises(ConfigurationError, match="fast path"):
-            register_scenario(
-                name="registry-test-scratch", tier="T0", seeds=(1,)
-            )(lambda: ScenarioConfig(protocol="tesla"))
+    def test_every_family_registers_on_the_fast_path(self, scratch_name):
+        # The vectorized engine is catalog-complete: a dual-engine
+        # declaration is accepted for every protocol family (the
+        # registry's off-fast-path guard stays as a seam for future
+        # protocols).
+        register_scenario(name=scratch_name, tier="T0", seeds=(1,))(
+            lambda: ScenarioConfig(protocol="tesla")
+        )
+        assert get_scenario(scratch_name).supports_engine("vectorized")
 
     def test_des_only_requires_exclusion_reason(self):
         with pytest.raises(ConfigurationError, match="engine_exclusion"):

@@ -1,5 +1,6 @@
-"""Vectorized fleet engine: exact parity with the DES, fallbacks, and
-the statistical-equivalence harness."""
+"""Vectorized fleet engine: exact parity with the DES across every
+protocol family, sharding/streaming reduction, and the
+statistical-equivalence harness."""
 
 from __future__ import annotations
 
@@ -8,15 +9,23 @@ import dataclasses
 import pytest
 
 from repro.engine import stable_key
+from repro.engine.executors import ParallelExecutor
 from repro.errors import ConfigurationError
+from repro.net.harness import shard_sizes
+from repro.scenarios.families import ALL_PROTOCOLS
 from repro.sim import fleet
 from repro.sim.fleet import (
     EquivalenceReport,
     run_fleet_scenario,
+    shard_plan,
     statistical_equivalence,
     supports,
 )
+from repro.sim.metrics import FleetAggregate
 from repro.sim.scenario import ScenarioConfig, run_scenario
+
+#: The canonical catalog seeds (every dual-seed entry declares these).
+CATALOG_SEEDS = (7, 11)
 
 
 def _assert_identical(config: ScenarioConfig):
@@ -31,7 +40,7 @@ def _assert_identical(config: ScenarioConfig):
 
 
 class TestExactParity:
-    @pytest.mark.parametrize("protocol", ["dap", "tesla_pp"])
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
     @pytest.mark.parametrize("attack", [0.0, 0.5])
     def test_clean_channel(self, protocol, attack):
         _assert_identical(
@@ -46,8 +55,9 @@ class TestExactParity:
             )
         )
 
-    @pytest.mark.parametrize("protocol", ["dap", "tesla_pp"])
-    def test_bernoulli_loss(self, protocol):
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    @pytest.mark.parametrize("seed", CATALOG_SEEDS)
+    def test_bernoulli_loss_at_catalog_seeds(self, protocol, seed):
         _assert_identical(
             ScenarioConfig(
                 protocol=protocol,
@@ -56,25 +66,30 @@ class TestExactParity:
                 buffers=3,
                 attack_fraction=0.5,
                 loss_probability=0.2,
-                seed=3,
+                seed=seed,
                 engine="vectorized",
             )
         )
 
-    def test_gilbert_elliott_loss(self):
-        _assert_identical(
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+    def test_t3_storm(self, protocol):
+        """T3-tier storm: p=0.8 burst flood over a bursty GE channel."""
+        result = _assert_identical(
             ScenarioConfig(
-                protocol="dap",
+                protocol=protocol,
                 intervals=20,
                 receivers=5,
                 buffers=4,
-                attack_fraction=0.5,
+                attack_fraction=0.8,
+                attack_burst_fraction=0.25,
                 loss_probability=0.2,
-                loss_mean_burst=5.0,
-                seed=9,
+                loss_mean_burst=4.0,
+                seed=7,
                 engine="vectorized",
             )
         )
+        # The paper's security invariant survives the fast path.
+        assert result.fleet.total_forged_accepted == 0
 
     def test_heavy_flood_and_small_buffers(self):
         result = _assert_identical(
@@ -89,13 +104,13 @@ class TestExactParity:
                 engine="vectorized",
             )
         )
-        # The paper's security invariant survives the fast path.
         assert result.fleet.total_forged_accepted == 0
 
-    def test_multiple_packets_per_interval(self):
+    @pytest.mark.parametrize("protocol", ["tesla", "mu_tesla", "multilevel"])
+    def test_multiple_packets_per_interval(self, protocol):
         _assert_identical(
             ScenarioConfig(
-                protocol="dap",
+                protocol=protocol,
                 intervals=12,
                 receivers=3,
                 buffers=4,
@@ -103,6 +118,23 @@ class TestExactParity:
                 packets_per_interval=3,
                 disclosure_delay=2,
                 seed=21,
+                engine="vectorized",
+            )
+        )
+
+    @pytest.mark.parametrize("protocol", ["multilevel", "eftp", "edrp"])
+    def test_multilevel_parameter_variations(self, protocol):
+        _assert_identical(
+            ScenarioConfig(
+                protocol=protocol,
+                intervals=25,
+                receivers=4,
+                buffers=2,
+                low_per_high=3,
+                cdm_copies=6,
+                attack_fraction=0.5,
+                loss_probability=0.3,
+                seed=13,
                 engine="vectorized",
             )
         )
@@ -123,32 +155,104 @@ class TestExactParity:
         assert via_dispatch.nodes == ()
 
 
-class TestSupportAndFallback:
-    def test_supports_only_two_phase_family(self):
-        assert supports(ScenarioConfig(protocol="dap"))
-        assert supports(ScenarioConfig(protocol="tesla_pp"))
-        assert not supports(ScenarioConfig(protocol="tesla"))
-        assert not supports(ScenarioConfig(protocol="mu_tesla"))
-
-    def test_direct_call_rejects_unsupported(self):
-        with pytest.raises(ConfigurationError):
-            run_fleet_scenario(
-                ScenarioConfig(protocol="tesla", intervals=8, receivers=2)
-            )
-
-    def test_unsupported_protocol_falls_back_without_behaviour_change(self):
-        base = ScenarioConfig(
-            protocol="tesla", intervals=10, receivers=2, seed=13
-        )
-        des = run_scenario(base)
-        fallback = run_scenario(dataclasses.replace(base, engine="vectorized"))
-        assert fallback.fleet == des.fleet
-        assert fallback.sent_authentic == des.sent_authentic
-        assert fallback.simulated_seconds == des.simulated_seconds
+class TestSupport:
+    def test_supports_every_catalog_family(self):
+        for protocol in ALL_PROTOCOLS:
+            assert supports(ScenarioConfig(protocol=protocol)), protocol
 
     def test_engine_validated_at_config_time(self):
         with pytest.raises(ConfigurationError):
             ScenarioConfig(engine="warp")
+
+    def test_invalid_summary_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="summary"):
+            run_fleet_scenario(
+                ScenarioConfig(protocol="dap", intervals=6, receivers=2),
+                summary="per-node",
+            )
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            run_fleet_scenario(
+                ScenarioConfig(protocol="dap", intervals=6, receivers=2),
+                shards=0,
+            )
+
+
+class TestSharding:
+    def test_shard_plan_matches_harness_shard_sizes(self):
+        """Regression: fleet shard plans reuse net.harness.shard_sizes,
+        not a parallel implementation."""
+        for receivers, shards in [(10, 3), (1000, 7), (5, 5), (64, 1)]:
+            plan = shard_plan(receivers, shards)
+            assert [stop - start for start, stop in plan] == shard_sizes(
+                receivers, shards
+            )
+            # Contiguous cover of [0, receivers).
+            assert plan[0][0] == 0
+            assert plan[-1][1] == receivers
+            for (_, a_stop), (b_start, _) in zip(plan, plan[1:]):
+                assert a_stop == b_start
+
+    def test_shard_plan_validates_like_shard_sizes(self):
+        with pytest.raises(ConfigurationError):
+            shard_plan(10, 0)
+        with pytest.raises(ConfigurationError):
+            shard_plan(3, 5)
+
+    @pytest.mark.parametrize("protocol", ["dap", "tesla", "multilevel"])
+    def test_sharded_run_is_invariant(self, protocol):
+        config = ScenarioConfig(
+            protocol=protocol,
+            intervals=15,
+            receivers=7,
+            buffers=3,
+            attack_fraction=0.5,
+            loss_probability=0.2,
+            seed=7,
+            engine="vectorized",
+        )
+        base = run_fleet_scenario(config)
+        for shards in (2, 3, 7, 50):  # 50 clamps to the receiver count
+            sharded = run_fleet_scenario(config, shards=shards)
+            assert sharded.fleet == base.fleet, shards
+
+    def test_aggregate_summary_matches_nodes_summary(self):
+        config = ScenarioConfig(
+            protocol="edrp",
+            intervals=15,
+            receivers=6,
+            buffers=3,
+            attack_fraction=0.5,
+            loss_probability=0.2,
+            loss_mean_burst=4.0,
+            seed=11,
+            engine="vectorized",
+        )
+        nodes = run_fleet_scenario(config)
+        aggregate = run_fleet_scenario(config, shards=3, summary="aggregate")
+        assert isinstance(aggregate.fleet, FleetAggregate)
+        assert aggregate.fleet == FleetAggregate.from_summary(nodes.fleet)
+
+    def test_parallel_executor_with_shared_memory_matches_serial(self):
+        config = ScenarioConfig(
+            protocol="multilevel",
+            intervals=12,
+            receivers=6,
+            buffers=3,
+            attack_fraction=0.5,
+            loss_probability=0.2,
+            seed=7,
+            engine="vectorized",
+        )
+        serial = run_fleet_scenario(config, shards=3)
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = run_fleet_scenario(config, shards=3, executor=executor)
+            aggregate = run_fleet_scenario(
+                config, shards=3, executor=executor, summary="aggregate"
+            )
+        assert parallel.fleet == serial.fleet
+        assert aggregate.fleet == FleetAggregate.from_summary(serial.fleet)
 
 
 class TestCacheKeys:

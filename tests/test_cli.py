@@ -490,7 +490,9 @@ class TestScenariosSubcommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "2/2 scenarios uphold the replay contract" in out
-        assert "des-only" in out  # tesla entry shows its exclusion
+        # The fast path is catalog-complete: every entry (the tesla one
+        # included) validates on both engines.
+        assert out.count("engines=des+vectorized") == 2
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
