@@ -94,14 +94,14 @@ def test_walk_cache_duplicate_flood(benchmark):
 def test_verify_many_not_slower_than_loop(benchmark):
     scheme = MacScheme()
     key = b"batch-key"
-    pairs = [
-        (b"msg-%04d" % i, scheme.compute(key, b"msg-%04d" % i)) for i in range(64)
-    ]
+    messages = [b"msg-%04d" % i for i in range(64)]
+    pairs = list(zip(messages, scheme.compute_many(key, messages)))
 
     def batched():
         return scheme.verify_many(key, pairs)
 
     def looped():
+        # reprolint: disable=RPL009 -- the loop column of the bench: the scalar path is what is being timed
         return [scheme.verify(key, m, t) for m, t in pairs]
 
     assert batched() == looped()

@@ -22,7 +22,7 @@ import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Generic, Iterator, List, Optional, TypeVar
+from typing import Generic, Iterable, Iterator, List, Optional, TypeVar
 
 from repro.errors import ConfigurationError
 
@@ -112,6 +112,21 @@ class PacketBuffer(ABC, Generic[T]):
     def offer(self, item: T) -> OfferResult[T]:
         """Offer one item; the strategy decides whether it is kept."""
 
+    def offer_many(self, items: Iterable[T]) -> int:
+        """Offer a whole flood of items; returns how many were stored.
+
+        State-identical to calling :meth:`offer` per item in order
+        (including every RNG draw a strategy makes), but skips the
+        per-item :class:`OfferResult` allocation — the batched fast
+        path for slot-granular flood processing. Subclasses may
+        override with a tighter loop; this default simply delegates.
+        """
+        stored = 0
+        for item in items:
+            if self.offer(item).stored:
+                stored += 1
+        return stored
+
 
 class ReservoirBuffer(PacketBuffer[T]):
     """Algorithm 2's storage rule: keep copy ``k`` with probability ``m/k``.
@@ -143,6 +158,55 @@ class ReservoirBuffer(PacketBuffer[T]):
         evicted = self._items[victim]
         self._items[victim] = item
         return OfferResult(OfferOutcome.STORED_REPLACED, evicted=evicted)
+
+    def offer_many(self, items: Iterable[T]) -> int:
+        """Draw-identical batched :meth:`offer` (Algorithm 2 per item).
+
+        The ``m/k`` acceptance draw and the uniform victim draw are
+        consumed from the same RNG stream, in the same order, as the
+        per-item path — offering ``[a, b, c]`` here leaves the buffer,
+        the seen counter *and the RNG* in the state three ``offer``
+        calls would. For a plain :class:`random.Random` the victim draw
+        inlines ``randrange``'s ``getrandbits`` rejection loop, which
+        is where the scalar path spends most of its time under a flood.
+        """
+        capacity = self._capacity
+        held = self._items
+        seen = self._seen
+        stored = 0
+        rng = self._rng
+        rand = rng.random
+        if type(rng) is random.Random:
+            # CPython's randrange(n) is _randbelow_with_getrandbits:
+            # k = n.bit_length(); draw getrandbits(k) until < n. Inlined
+            # it consumes the identical stream without the Python-level
+            # argument plumbing of the randrange wrapper.
+            getrandbits = rng.getrandbits
+            k = capacity.bit_length()
+            for item in items:
+                seen += 1
+                if len(held) < capacity:
+                    held.append(item)
+                    stored += 1
+                elif rand() < capacity / seen:
+                    victim = getrandbits(k)
+                    while victim >= capacity:
+                        victim = getrandbits(k)
+                    held[victim] = item
+                    stored += 1
+            self._seen = seen
+            return stored
+        randrange = rng.randrange
+        for item in items:
+            seen += 1
+            if len(held) < capacity:
+                held.append(item)
+                stored += 1
+            elif rand() < capacity / seen:
+                held[randrange(capacity)] = item
+                stored += 1
+        self._seen = seen
+        return stored
 
 
 class KeepFirstBuffer(PacketBuffer[T]):

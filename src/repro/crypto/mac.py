@@ -90,6 +90,42 @@ class MacScheme:
             raise ConfigurationError("MAC key must be non-empty")
         return _hmac_truncated(bytes(key), bytes(message), self.mac_bits, b"repro.mac")
 
+    def compute_many(self, key: bytes, messages: Iterable[bytes]) -> List[bytes]:
+        """Batched :meth:`compute` over ``messages`` under one key.
+
+        Sender-side slot construction MACs every message of a broadcast
+        slot under the same interval key; sharing the HMAC key-block
+        midstate across the batch pays key preparation once instead of
+        per packet. Bit-identical, positionally, to per-message
+        :meth:`compute`.
+        """
+        if not key:
+            raise ConfigurationError("MAC key must be non-empty")
+        items = [bytes(message) for message in messages]
+        if not items:
+            return []
+        if perf.ACTIVE is not None:
+            perf.ACTIVE.incr("crypto.mac", len(items))
+            perf.ACTIVE.incr("crypto.mac.batches")
+        key = bytes(key)
+        bits = self.mac_bits
+        if kernels.ENABLED:
+            base = kernels.hmac_midstate(key, b"repro.mac")
+            out = []
+            for message in items:
+                h = base.copy()
+                h.update(message)
+                out.append(truncate_to_bits(h.digest(), bits))
+            return out
+        return [
+            truncate_to_bits(
+                # reprolint: disable=RPL001 -- kernels-disabled reference path, parity-tested against hmac_midstate
+                _hmac.new(key, b"repro.mac|" + message, hashlib.sha256).digest(),
+                bits,
+            )
+            for message in items
+        ]
+
     def verify(self, key: bytes, message: bytes, mac: bytes) -> bool:
         """Constant-time check that ``mac`` authenticates ``message``."""
         return _hmac.compare_digest(self.compute(key, message), bytes(mac))
@@ -102,40 +138,16 @@ class MacScheme:
         Receiver-side interval verification checks a whole buffer of
         records under one disclosed key; sharing the HMAC key-block
         state across the batch pays the key preparation once instead of
-        per record. Results are positionally identical to calling
-        :meth:`verify` per pair.
+        per record. All expected digests are computed first, then
+        compared in one pass. Results are positionally identical to
+        calling :meth:`verify` per pair.
         """
-        if not key:
-            raise ConfigurationError("MAC key must be non-empty")
         items = list(pairs)
-        if not items:
-            return []
-        if perf.ACTIVE is not None:
-            perf.ACTIVE.incr("crypto.mac", len(items))
-        key = bytes(key)
-        out: List[bool] = []
-        if kernels.ENABLED:
-            base = kernels.hmac_midstate(key, b"repro.mac")
-            for message, mac in items:
-                h = base.copy()
-                h.update(bytes(message))
-                out.append(
-                    _hmac.compare_digest(
-                        truncate_to_bits(h.digest(), self.mac_bits), bytes(mac)
-                    )
-                )
-            return out
-        for message, mac in items:
-            # reprolint: disable=RPL001 -- kernels-disabled reference path, parity-tested against hmac_midstate
-            digest = _hmac.new(
-                key, b"repro.mac|" + bytes(message), hashlib.sha256
-            ).digest()
-            out.append(
-                _hmac.compare_digest(
-                    truncate_to_bits(digest, self.mac_bits), bytes(mac)
-                )
-            )
-        return out
+        expected = self.compute_many(key, (message for message, _mac in items))
+        return [
+            _hmac.compare_digest(digest, bytes(mac))
+            for digest, (_message, mac) in zip(expected, items)
+        ]
 
 
 @dataclass(frozen=True)
@@ -157,13 +169,82 @@ class MicroMacScheme:
             )
 
     def compute(self, local_key: bytes, mac: bytes) -> bytes:
-        """Compute ``μMAC = MAC_{local_key}(mac)``."""
+        """Compute ``μMAC = MAC_{local_key}(mac)``.
+
+        With :func:`~repro.crypto.kernels.fast_umac_enabled` the tag
+        comes from the keyed-BLAKE2s kernel instead of HMAC-SHA-256 —
+        different bytes, same distributional collision model (see the
+        ``FAST_UMAC`` notes in :mod:`repro.crypto.kernels`).
+        """
         if not local_key:
             raise ConfigurationError("receiver local key must be non-empty")
+        if kernels.fast_umac_enabled():
+            if perf.ACTIVE is not None:
+                perf.ACTIVE.incr("crypto.mac")
+            return kernels.fast_micro_mac(
+                bytes(local_key), bytes(mac), self.micro_mac_bits
+            )
         return _hmac_truncated(
             bytes(local_key), bytes(mac), self.micro_mac_bits, b"repro.umac"
         )
 
+    def compute_many(self, local_key: bytes, macs: Iterable[bytes]) -> List[bytes]:
+        """Batched :meth:`compute` over ``macs`` under one local key.
+
+        The shape of reveal-time strong authentication: one receiver
+        re-hashes every buffered MAC of a slot under its private key.
+        One HMAC midstate (or one BLAKE2s key block on the fast path)
+        serves the whole batch; results are positionally identical to
+        per-MAC :meth:`compute`.
+        """
+        if not local_key:
+            raise ConfigurationError("receiver local key must be non-empty")
+        items = [bytes(mac) for mac in macs]
+        if not items:
+            return []
+        if perf.ACTIVE is not None:
+            perf.ACTIVE.incr("crypto.mac", len(items))
+            perf.ACTIVE.incr("crypto.mac.batches")
+        local_key = bytes(local_key)
+        bits = self.micro_mac_bits
+        if kernels.fast_umac_enabled():
+            fast = kernels.fast_micro_mac
+            return [fast(local_key, mac, bits) for mac in items]
+        if kernels.ENABLED:
+            base = kernels.hmac_midstate(local_key, b"repro.umac")
+            out = []
+            for mac in items:
+                h = base.copy()
+                h.update(mac)
+                out.append(truncate_to_bits(h.digest(), bits))
+            return out
+        return [
+            truncate_to_bits(
+                # reprolint: disable=RPL001 -- kernels-disabled reference path, parity-tested against hmac_midstate
+                _hmac.new(local_key, b"repro.umac|" + mac, hashlib.sha256).digest(),
+                bits,
+            )
+            for mac in items
+        ]
+
     def verify(self, local_key: bytes, mac: bytes, micro_mac: bytes) -> bool:
         """Constant-time check of a stored μMAC against a recomputed MAC."""
         return _hmac.compare_digest(self.compute(local_key, mac), bytes(micro_mac))
+
+    def verify_many(
+        self, local_key: bytes, pairs: Iterable[Tuple[bytes, bytes]]
+    ) -> List[bool]:
+        """Batched :meth:`verify` over ``(mac, micro_mac)`` pairs.
+
+        All expected μMACs are computed first (one key-block setup for
+        the batch), then compared in one pass. Positionally identical
+        to per-pair :meth:`verify`.
+        """
+        items = list(pairs)
+        expected = self.compute_many(
+            local_key, (mac for mac, _micro in items)
+        )
+        return [
+            _hmac.compare_digest(digest, bytes(micro))
+            for digest, (_mac, micro) in zip(expected, items)
+        ]

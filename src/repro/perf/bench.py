@@ -19,13 +19,38 @@ Sections:
 ``mac_verify``
     Batched :meth:`~repro.crypto.mac.MacScheme.verify_many` vs per-pair
     :meth:`~repro.crypto.mac.MacScheme.verify`.
+``mac_batch``
+    Sender-side MAC batching:
+    :meth:`~repro.crypto.mac.MacScheme.compute_many` (one HMAC key
+    block per batch) vs per-message
+    :meth:`~repro.crypto.mac.MacScheme.compute`.
+``umac_reservoir``
+    Algorithm 2 under a flood:
+    :meth:`~repro.buffers.reservoir.ReservoirBuffer.offer_many` vs
+    per-copy :meth:`~repro.buffers.reservoir.ReservoirBuffer.offer`,
+    end state asserted identical (same RNG stream) in the same run.
+``fast_umac``
+    μMAC tagging three ways: scalar HMAC
+    :meth:`~repro.crypto.mac.MicroMacScheme.compute`, batched
+    :meth:`~repro.crypto.mac.MicroMacScheme.compute_many`, and
+    ``compute_many`` under the opt-in non-faithful keyed-BLAKE2s
+    kernel (:func:`repro.crypto.kernels.fast_umac` — different bytes,
+    same distributional collision model; see EXPERIMENTS.md before
+    using it for figures).
 ``pebbled``
     Sequential sender traversal cost plus the memory story (stored and
     peak pebbles vs the dense chain's ``n`` keys).
 ``scenario``
-    A full seeded :func:`~repro.sim.scenario.run_scenario` under
-    :func:`repro.perf.collecting`, kernels on vs off, with the counter
-    deltas that prove the run exercised the crypto hot path.
+    The end-to-end fig5 run, three ways on one config and seed: the
+    naive stack (event-driven DES, kernels off), the fleet engine on
+    its scalar reference replay (kernels off), and the kernel stack
+    (fleet engine's vectorized reservoir kernel + batched crypto,
+    kernels on) — all three summaries asserted byte-identical in the
+    same run, with the counter deltas that prove the kernel run
+    exercised the crypto hot path. ``speedup`` is naive stack vs
+    kernel stack; ``replay_speedup`` isolates the vectorized replay
+    (fleet kernels off vs on). The preset's ``scenario_receivers``
+    scales the catalog config's fleet so the walls are measurable.
 
 A second suite, :func:`run_sim_bench` (``repro bench --suite sim``,
 ``BENCH_sim.json``), measures the vectorized fleet engine
@@ -45,14 +70,16 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform
+import random
 import resource
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Sequence
 
-from repro.crypto.kernels import ChainWalkCache, set_kernels_enabled
+from repro.buffers.reservoir import ReservoirBuffer
+from repro.crypto.kernels import ChainWalkCache, fast_umac, set_kernels_enabled
 from repro.crypto.keychain import KeyChain, KeyChainAuthenticator
-from repro.crypto.mac import MacScheme
+from repro.crypto.mac import MICRO_MAC_BITS, MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction
 from repro.crypto.pebbled import PebbledKeyChain, pebble_bound
 from repro.errors import ConfigurationError, ReproError
@@ -79,7 +106,9 @@ SCENARIO_PRESETS: Dict[str, ScenarioConfig] = {
 }
 
 #: Bench sizing presets: (one-way ops, walk gap, walk repeats, MAC batch,
-#: pebbled chain length, scenario preset).
+#: μMAC flood sizes, pebbled chain length, scenario preset + fleet size).
+#: Both presets point ``scenario`` at fig5 so even the CI smoke artifact
+#: carries the fig5 end-to-end speedup the acceptance bar applies to.
 BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
     "smoke": {
         "oneway_ops": 2000,
@@ -87,8 +116,11 @@ BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
         "walk_repeats": 200,
         "mac_batch": 64,
         "mac_rounds": 20,
+        "umac_flood": 2048,
+        "reservoir_capacity": 4,
         "pebbled_length": 4096,
-        "scenario": "smoke",
+        "scenario": "fig5",
+        "scenario_receivers": 50,
     },
     "full": {
         "oneway_ops": 20000,
@@ -96,8 +128,11 @@ BENCH_PRESETS: Dict[str, Dict[str, Any]] = {
         "walk_repeats": 2000,
         "mac_batch": 64,
         "mac_rounds": 200,
+        "umac_flood": 8192,
+        "reservoir_capacity": 4,
         "pebbled_length": 65536,
         "scenario": "fig5",
+        "scenario_receivers": 100,
     },
 }
 
@@ -222,14 +257,13 @@ def _bench_mac_verify(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
     key = b"\x42" * 10
     batch = int(preset["mac_batch"])
     rounds = int(preset["mac_rounds"])
-    pairs = [
-        (b"message-%06d" % i, scheme.compute(key, b"message-%06d" % i))
-        for i in range(batch)
-    ]
+    messages = [b"message-%06d" % i for i in range(batch)]
+    pairs = list(zip(messages, scheme.compute_many(key, messages)))
 
     def per_pair() -> int:
         for _ in range(rounds):
             for message, mac in pairs:
+                # reprolint: disable=RPL009 -- the naive column of the bench: the scalar path is what is being timed
                 scheme.verify(key, message, mac)
         return rounds * batch
 
@@ -247,6 +281,143 @@ def _bench_mac_verify(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
         "naive_ops_per_sec": round(naive, 1),
         "kernel_ops_per_sec": round(many, 1),
         "speedup": round(many / naive, 3) if naive else 0.0,
+    }
+
+
+def _bench_mac_batch(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    """Sender-side shape: MAC a whole broadcast slot under one key.
+
+    Unlike :func:`_bench_mac_verify` (kernels off vs on), both sides
+    here run with the kernels on — the section isolates what the batch
+    API itself buys over per-call :meth:`MacScheme.compute`, i.e. one
+    midstate lookup per *batch* instead of per digest.
+    """
+    scheme = MacScheme()
+    key = b"\x42" * 10
+    batch = int(preset["mac_batch"])
+    rounds = int(preset["mac_rounds"])
+    messages = [b"message-%06d" % i for i in range(batch)]
+
+    def scalar() -> int:
+        for _ in range(rounds):
+            for message in messages:
+                # reprolint: disable=RPL009 -- the scalar column of the bench: per-call compute is what is being timed
+                scheme.compute(key, message)
+        return rounds * batch
+
+    def batched() -> int:
+        for _ in range(rounds):
+            scheme.compute_many(key, messages)
+        return rounds * batch
+
+    set_kernels_enabled(True)
+    scalar_rate = _best_rate(scalar, repeat)
+    many_rate = _best_rate(batched, repeat)
+    return {
+        "batch": batch,
+        "scalar_ops_per_sec": round(scalar_rate, 1),
+        "batched_ops_per_sec": round(many_rate, 1),
+        "speedup": round(many_rate / scalar_rate, 3) if scalar_rate else 0.0,
+    }
+
+
+def _bench_umac_reservoir(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    """Algorithm-2 flood absorption: per-copy ``offer`` vs ``offer_many``.
+
+    Before timing, one seeded pair of buffers is run both ways and the
+    survivors, offer counters and final RNG states are compared — the
+    artifact's ``identical_survivors`` is a checked fact for the exact
+    flood being timed, not an assumption.
+    """
+    flood = int(preset["umac_flood"])
+    capacity = int(preset["reservoir_capacity"])
+    items = list(range(flood))
+
+    sequential_buf: ReservoirBuffer[int] = ReservoirBuffer(
+        capacity, rng=random.Random(0xA2)
+    )
+    for item in items:
+        sequential_buf.offer(item)
+    batched_buf: ReservoirBuffer[int] = ReservoirBuffer(
+        capacity, rng=random.Random(0xA2)
+    )
+    batched_buf.offer_many(items)
+    if (
+        sequential_buf.items != batched_buf.items
+        or sequential_buf.seen_count != batched_buf.seen_count
+    ):
+        raise ReproError(
+            "ReservoirBuffer.offer_many diverged from sequential offers —"
+            " the batched path no longer replays Algorithm 2 draw-for-draw"
+        )
+
+    def per_copy() -> int:
+        buf: ReservoirBuffer[int] = ReservoirBuffer(
+            capacity, rng=random.Random(0x5EED)
+        )
+        for item in items:
+            buf.offer(item)
+        return flood
+
+    def batched() -> int:
+        buf: ReservoirBuffer[int] = ReservoirBuffer(
+            capacity, rng=random.Random(0x5EED)
+        )
+        buf.offer_many(items)
+        return flood
+
+    scalar_rate = _best_rate(per_copy, repeat)
+    many_rate = _best_rate(batched, repeat)
+    return {
+        "flood": flood,
+        "capacity": capacity,
+        "scalar_ops_per_sec": round(scalar_rate, 1),
+        "batched_ops_per_sec": round(many_rate, 1),
+        "speedup": round(many_rate / scalar_rate, 3) if scalar_rate else 0.0,
+        "identical_survivors": True,
+    }
+
+
+def _bench_fast_umac(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
+    """μMAC tag generation three ways: scalar HMAC, batched HMAC, and the
+    opt-in keyed-BLAKE2s fast path (``kernels.FAST_UMAC``).
+
+    ``faithful_bytes`` is false for the fast column by design — the fast
+    tags differ from the HMAC reference byte-for-byte while keeping the
+    same 2^-bits distributional collision model, so figures produced
+    under it are statistically, not bitwise, equivalent.
+    """
+    micro = MicroMacScheme()
+    key = b"\x24" * 16
+    flood = int(preset["umac_flood"])
+    macs = [b"mac-%06d" % i for i in range(flood)]
+
+    def scalar() -> int:
+        for mac in macs:
+            # reprolint: disable=RPL009 -- the scalar column of the bench: per-call compute is what is being timed
+            micro.compute(key, mac)
+        return flood
+
+    def batched() -> int:
+        micro.compute_many(key, macs)
+        return flood
+
+    set_kernels_enabled(True)
+    hmac_scalar = _best_rate(scalar, repeat)
+    hmac_batched = _best_rate(batched, repeat)
+    with fast_umac(True):
+        fast_rate = _best_rate(batched, repeat)
+    return {
+        "flood": flood,
+        "bits": MICRO_MAC_BITS,
+        "hmac_scalar_ops_per_sec": round(hmac_scalar, 1),
+        "hmac_batched_ops_per_sec": round(hmac_batched, 1),
+        "fast_ops_per_sec": round(fast_rate, 1),
+        "batched_speedup": (
+            round(hmac_batched / hmac_scalar, 3) if hmac_scalar else 0.0
+        ),
+        "fast_speedup": round(fast_rate / hmac_scalar, 3) if hmac_scalar else 0.0,
+        "faithful_bytes": False,
     }
 
 
@@ -272,30 +443,57 @@ def _bench_pebbled(preset: Dict[str, Any], repeat: int) -> Dict[str, Any]:
 
 
 def _bench_scenario(preset: Dict[str, Any]) -> Dict[str, Any]:
-    config = SCENARIO_PRESETS[str(preset["scenario"])]
+    """End-to-end fig5 three ways on one config and seed.
+
+    1. event-driven engine, kernels off — the naive stack;
+    2. fleet engine, kernels off — the scalar reference replay;
+    3. fleet engine, kernels on — the kernel stack (batched MACs,
+       midstates, one-pass numpy reservoir replay).
+
+    All three summaries must be byte-identical (a single divergence
+    fails the bench), so the headline ``speedup`` — naive stack over
+    kernel stack — compares two runs *proven in this very invocation*
+    to compute the same answer. ``replay_speedup`` isolates the
+    vectorized replay against the scalar fleet reference.
+    """
+    base = SCENARIO_PRESETS[str(preset["scenario"])]
+    receivers = int(preset.get("scenario_receivers", base.receivers))
+    des_config = dataclasses.replace(base, receivers=receivers, engine="des")
+    fleet_config = dataclasses.replace(des_config, engine="vectorized")
 
     set_kernels_enabled(False)
-    with collecting() as naive_registry:
-        started = time.perf_counter()
-        naive_result = run_scenario(config)
-        naive_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    des_result = run_scenario(des_config)
+    naive_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reference_result = run_scenario(fleet_config)
+    reference_wall = time.perf_counter() - started
 
     set_kernels_enabled(True)
     with collecting() as kernel_registry:
         started = time.perf_counter()
-        kernel_result = run_scenario(config)
+        kernel_result = run_scenario(fleet_config)
         kernel_wall = time.perf_counter() - started
 
-    if naive_result.fleet != kernel_result.fleet:
+    if (
+        des_result.fleet != kernel_result.fleet
+        or reference_result.fleet != kernel_result.fleet
+    ):
         raise ReproError(
-            "kernel on/off scenario runs diverged — the kernels are not"
-            " bit-identical to the reference paths"
+            "scenario engines diverged — the kernel stack is not"
+            " byte-identical to the naive event-driven reference"
         )
     return {
         "preset": str(preset["scenario"]),
+        "receivers": receivers,
         "naive_wall_seconds": round(naive_wall, 4),
+        "reference_wall_seconds": round(reference_wall, 4),
         "kernel_wall_seconds": round(kernel_wall, 4),
         "speedup": round(naive_wall / kernel_wall, 3) if kernel_wall else 0.0,
+        "replay_speedup": (
+            round(reference_wall / kernel_wall, 3) if kernel_wall else 0.0
+        ),
         "identical_summaries": True,
         "counters": dict(kernel_registry.counters),
         "walk_cache_hit_rate": round(
@@ -329,17 +527,22 @@ def run_bench(preset: str = "smoke", repeat: int = 3) -> Dict[str, Any]:
             "one_way": _bench_one_way(sizes, repeat),
             "keychain_walks": _bench_keychain_walks(sizes, repeat),
             "mac_verify": _bench_mac_verify(sizes, repeat),
+            "mac_batch": _bench_mac_batch(sizes, repeat),
+            "umac_reservoir": _bench_umac_reservoir(sizes, repeat),
+            "fast_umac": _bench_fast_umac(sizes, repeat),
             "pebbled": _bench_pebbled(sizes, repeat),
             "scenario": _bench_scenario(sizes),
         }
     finally:
         set_kernels_enabled(previous)
-    hashes = results["scenario"]["counters"].get("crypto.hash", 0)
-    macs = results["scenario"]["counters"].get("crypto.mac", 0)
-    if hashes == 0 or macs == 0:
+    counters = results["scenario"]["counters"]
+    hashes = counters.get("crypto.hash", 0)
+    macs = counters.get("crypto.mac", 0)
+    batches = counters.get("crypto.mac.batches", 0)
+    if hashes == 0 or macs == 0 or batches == 0:
         raise ReproError(
-            "instrumented scenario reported zero hash/MAC invocations —"
-            " perf counters are unwired from the crypto hot path"
+            "instrumented scenario reported zero hash/MAC/batch invocations"
+            " — perf counters are unwired from the crypto hot path"
         )
     return {
         "preset": preset,

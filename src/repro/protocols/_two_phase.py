@@ -140,8 +140,11 @@ class TwoPhaseSender(BroadcastSender):
             )
         packets: List[TwoPhasePacket] = []
         key = self._chain.key(index)
-        for message in self.messages_for(index):
-            announce = MacAnnouncePacket(index=index, mac=self._mac.compute(key, message))
+        messages = self.messages_for(index)
+        # One batched MAC call per broadcast slot: the interval key's
+        # HMAC block is prepared once for all of the slot's messages.
+        for mac in self._mac.compute_many(key, messages):
+            announce = MacAnnouncePacket(index=index, mac=mac)
             packets.extend([announce] * self._announce_copies)
         reveal_index = index - self._delay
         if reveal_index >= 1:

@@ -99,14 +99,14 @@ class MuTeslaSender(BroadcastSender):
             )
         key = self._chain.key(index)
         packets: List[MuTeslaPacketTypes] = []
-        for copy in range(self._per_interval):
-            message = self._message_for(index, copy)
+        messages = [
+            self._message_for(index, copy) for copy in range(self._per_interval)
+        ]
+        # Slot-granular MAC batching: one HMAC key block for the whole
+        # interval's data packets.
+        for message, mac in zip(messages, self._mac.compute_many(key, messages)):
             packets.append(
-                MuTeslaDataPacket(
-                    index=index,
-                    message=message,
-                    mac=self._mac.compute(key, message),
-                )
+                MuTeslaDataPacket(index=index, message=message, mac=mac)
             )
         disclosed_index = index - self._delay
         if disclosed_index >= 1:

@@ -195,8 +195,9 @@ class RenewingDapSender(BroadcastSender):
         epoch, local = self._locate(index)
         key = self._chains[epoch].key(local)
         packets: List[TwoPhasePacket] = []
-        for message in self._messages_for(index):
-            announce = MacAnnouncePacket(index=index, mac=self._mac.compute(key, message))
+        macs = self._mac.compute_many(key, self._messages_for(index))
+        for mac in macs:
+            announce = MacAnnouncePacket(index=index, mac=mac)
             packets.extend([announce] * self._announce_copies)
         reveal_global = index - self._delay
         if reveal_global >= 1:

@@ -98,13 +98,17 @@ class TeslaSender(BroadcastSender):
             self._chain.key(disclosed_index) if disclosed_index >= 1 else None
         )
         packets = []
-        for copy in range(self._per_interval):
-            message = self._message_for(index, copy)
+        messages = [
+            self._message_for(index, copy) for copy in range(self._per_interval)
+        ]
+        # Slot-granular MAC batching: one HMAC key block for the whole
+        # interval's data packets.
+        for message, mac in zip(messages, self._mac.compute_many(key, messages)):
             packets.append(
                 TeslaPacket(
                     index=index,
                     message=message,
-                    mac=self._mac.compute(key, message),
+                    mac=mac,
                     disclosed_index=max(disclosed_index, 0),
                     disclosed_key=disclosed_key,
                 )

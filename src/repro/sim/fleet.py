@@ -39,9 +39,14 @@ seed, for every family:
   replayed through a mirrored ``numpy`` Mersenne state in bounded
   blocks along the slot axis, carrying the per-lane channel state
   between blocks;
-- reservoir draws: lazy per-receiver ``random.Random`` objects replay
-  Algorithm 2's ``m/k`` rule offer-for-offer (``randrange`` consumes
-  ``getrandbits``, so this part stays scalar by design). Multi-level
+- reservoir draws: per-receiver ``random.Random`` streams replay
+  Algorithm 2's ``m/k`` rule offer-for-offer. With the crypto kernels
+  on, the two-phase replay runs a one-pass numpy reservoir kernel:
+  segmented-cumsum ranks decide every free-slot fill for a whole
+  slot flood at once, and only the overflow offers (rank past
+  capacity) reach a tight scalar loop that consumes the acceptance
+  ``random()`` and the inlined ``randrange``/``getrandbits``
+  rejection draws in exactly the per-offer order. Multi-level
   receivers share one stream between the CDM and data pools in
   delivery order, as the DES receiver does;
 - forged bytes are replayed from the attacker stream in injection
@@ -81,6 +86,7 @@ import numpy as np
 
 from repro import perf
 from repro.analysis.statistics import MeanEstimate, mean_estimate
+from repro.crypto import kernels
 from repro.crypto.mac import INDEX_BITS, MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction, standard_functions
 from repro.engine.executors import Executor
@@ -685,14 +691,24 @@ def _build_multilevel_plan(
     # CDMs: verify_many under the targeted high key over the receiver's
     # payload reconstruction — any True is the 2^-80 collision path.
     mac_scheme = MacScheme()
-    for (flat, source), (message, mac) in data_reps.items():
+    # One verify_many per flat interval (records share the sub-interval
+    # key), not one single-pair call per record: the batch pays the
+    # HMAC key-block setup once per slot. The perf registry's
+    # ``crypto.mac.batches`` counter pins this shape in the tests.
+    reps_by_flat: Dict[int, List[Tuple[int, Tuple[bytes, bytes]]]] = {}
+    for (flat, source), pair in data_reps.items():
+        reps_by_flat.setdefault(flat, []).append((source, pair))
+    for flat in sorted(reps_by_flat):
         chain, sub = (flat - 1) // lph + 1, (flat - 1) % lph + 1
         key = sender.chain.low_key(chain, sub)
-        if not mac_scheme.verify_many(key, [(message, mac)])[0]:
-            raise ConfigurationError(
-                f"authentic data record failed MAC verification at flat"
-                f" interval {flat}, source {source}"
-            )
+        group = reps_by_flat[flat]
+        outcomes = mac_scheme.verify_many(key, [pair for _src, pair in group])
+        for (source, _pair), ok in zip(group, outcomes):
+            if not ok:
+                raise ConfigurationError(
+                    f"authentic data record failed MAC verification at flat"
+                    f" interval {flat}, source {source}"
+                )
     forged_mac_valid = [False] * len(forged_cdms)
     by_high: Dict[int, List[int]] = {}
     for k, (high, _c, _m) in enumerate(forged_cdms):
@@ -864,6 +880,32 @@ def _replay_two_phase(
     seeds: Sequence[int],
     delivered: np.ndarray,
 ) -> _Counts:
+    """Two-phase replay dispatch: the vectorized slot-flood kernel when
+    the crypto kernels are on, the scalar reference loop otherwise.
+
+    Both paths are byte-identical (the parity tests run seeded
+    scenarios through each and compare summaries against the DES); the
+    kernel processes a whole slot's flood per numpy call instead of one
+    Python iteration per delivered copy.
+    """
+    if kernels.ENABLED:
+        pre = _two_phase_precompute(plan)
+        if pre is not None:
+            return _replay_two_phase_vectorized(
+                plan, pre, config, start, seeds, delivered
+            )
+    return _replay_two_phase_reference(plan, config, start, seeds, delivered)
+
+
+def _replay_two_phase_reference(
+    plan: _TwoPhasePlan,
+    config: ScenarioConfig,
+    start: int,
+    seeds: Sequence[int],
+    delivered: np.ndarray,
+) -> _Counts:
+    """Scalar per-copy replay — the ``kernels_disabled()`` reference
+    path the vectorized kernel is parity-tested against."""
     kinds = plan.kinds
     intervals = plan.intervals
     sources = plan.sources
@@ -940,6 +982,7 @@ def _replay_two_phase(
                     # No surviving record shares this reveal's MAC
                     # bytes — decide by actual μMAC equality so 24-bit
                     # collisions authenticate exactly as in the DES.
+                    # reprolint: disable=RPL009 -- scalar reference replay: keeps the per-slot shape the vectorized kernel's compute_many batch is parity-tested against
                     expected = micro.compute(local_key, announce_macs[key])
                     for slot in held:
                         mac = (
@@ -947,6 +990,7 @@ def _replay_two_phase(
                             if slot >= 0
                             else forged_macs[-1 - slot]
                         )
+                        # reprolint: disable=RPL009 -- scalar reference replay: per-slot digest order is the baseline the batched kernel path must reproduce
                         if micro.compute(local_key, mac) == expected:
                             matched = True
                             break
@@ -963,6 +1007,377 @@ def _replay_two_phase(
         facc_c.append(0)
         recv_c.append(len(delivered_slots))
         peak_c.append(peak * plan.item_bits)
+    return out  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class _TwoPhaseVecPlan:
+    """Receiver-independent numpy views of a :class:`_TwoPhasePlan`.
+
+    Offers (gated announce/forged slots) are grouped into contiguous
+    per-interval *runs*; reveals carry their position within the offer
+    sequence so fills-before-reveal falls out of one cumulative sum.
+    :func:`_two_phase_precompute` returns ``None`` when the slot layout
+    violates the window structure the kernel's frozen-bucket argument
+    needs (never true for plans built here) — the dispatcher then runs
+    the scalar reference loop instead.
+    """
+
+    offer_rows: np.ndarray
+    discard_rows: np.ndarray
+    reveal_rows: np.ndarray
+    run_starts: np.ndarray
+    run_ends: np.ndarray
+    run_id: np.ndarray
+    run_intervals: List[int]
+    run_of_interval: Dict[int, int]
+    offer_sources: np.ndarray
+    reveal_intervals: List[int]
+    reveal_sources: List[int]
+    pos_in_offers: np.ndarray
+
+
+def _two_phase_precompute(plan: _TwoPhasePlan) -> Optional[_TwoPhaseVecPlan]:
+    """Lay out a two-phase plan for the vectorized replay kernel.
+
+    Verifies the structural facts the kernel's exactness proof rests
+    on: each interval's gated offers form one contiguous slot run, runs
+    ascend, reveals arrive in non-decreasing interval order, and every
+    reveal of an interval lands after that interval's last offer (so
+    the bucket it matches against is frozen). Announce/reveal windows
+    guarantee all of this for generated plans; any violation falls
+    back to the reference loop rather than risking drift.
+    """
+    kinds = np.asarray(plan.kinds, dtype=np.int64)
+    gate = np.asarray(plan.gate, dtype=bool)
+    intervals = np.asarray(plan.intervals, dtype=np.int64)
+    sources = np.asarray(plan.sources, dtype=np.int64)
+    is_offer = kinds != _REVEAL
+    offer_rows = np.nonzero(is_offer & gate)[0]
+    discard_rows = np.nonzero(is_offer & ~gate)[0]
+    reveal_rows = np.nonzero(~is_offer)[0]
+    offer_intervals = intervals[offer_rows]
+    if offer_intervals.size:
+        changes = np.nonzero(np.diff(offer_intervals))[0] + 1
+        run_starts = np.concatenate((np.zeros(1, dtype=np.int64), changes))
+        run_ends = (
+            np.concatenate(
+                (changes, np.array([offer_intervals.size], dtype=np.int64))
+            )
+            - 1
+        )
+        run_intervals_arr = offer_intervals[run_starts]
+        if np.any(np.diff(run_intervals_arr) <= 0):
+            return None  # an interval's offers split across runs
+    else:
+        run_starts = np.zeros(0, dtype=np.int64)
+        run_ends = np.zeros(0, dtype=np.int64)
+        run_intervals_arr = np.zeros(0, dtype=np.int64)
+    run_id = np.zeros(offer_intervals.size, dtype=np.int64)
+    if run_starts.size > 1:
+        run_id[run_starts[1:]] = 1
+        run_id = np.cumsum(run_id)
+    reveal_intervals = intervals[reveal_rows]
+    if np.any(np.diff(reveal_intervals) < 0):
+        return None  # out-of-order reveals break the stale-pop pointer
+    run_of_interval = {
+        int(v): idx for idx, v in enumerate(run_intervals_arr.tolist())
+    }
+    last_offer_row = offer_rows[run_ends] if run_ends.size else run_ends
+    for row, interval in zip(reveal_rows.tolist(), reveal_intervals.tolist()):
+        run = run_of_interval.get(interval)
+        if run is not None and row < int(last_offer_row[run]):
+            return None  # bucket not frozen at reveal time
+    return _TwoPhaseVecPlan(
+        offer_rows=offer_rows,
+        discard_rows=discard_rows,
+        reveal_rows=reveal_rows,
+        run_starts=run_starts,
+        run_ends=run_ends,
+        run_id=run_id,
+        run_intervals=[int(v) for v in run_intervals_arr.tolist()],
+        run_of_interval=run_of_interval,
+        offer_sources=sources[offer_rows],
+        reveal_intervals=[int(v) for v in reveal_intervals.tolist()],
+        reveal_sources=[int(v) for v in sources[reveal_rows].tolist()],
+        pos_in_offers=np.searchsorted(offer_rows, reveal_rows).astype(np.int64),
+    )
+
+
+#: Receiver-block width for the vectorized replay — bounds the
+#: (offer-slots x receivers) rank/cumsum temporaries to a few MiB.
+_REPLAY_BLOCK = 8192
+
+
+def _replay_two_phase_vectorized(
+    plan: _TwoPhasePlan,
+    pre: _TwoPhaseVecPlan,
+    config: ScenarioConfig,
+    start: int,
+    seeds: Sequence[int],
+    delivered: np.ndarray,
+) -> _Counts:
+    """One-pass Algorithm-2 reservoir kernel over whole slot floods.
+
+    Per receiver block, a segmented cumulative sum ranks every
+    delivered offer within its interval run. Ranks up to the buffer
+    capacity are free-slot fills (Algorithm 2 stores those
+    unconditionally), so the fill trajectory, bucket seen-counters,
+    stale-pop totals and peak-occupancy candidates all come out of
+    numpy at once. Only overflow offers — rank past capacity — touch
+    the per-receiver RNG: a tight scalar loop replays the ``m/k``
+    acceptance ``random()`` and the inlined ``randrange`` /
+    ``getrandbits`` victim draws for exactly those offers, in delivery
+    order, leaving every bucket byte-identical to the reference loop.
+    The short reveal pass then replays weak authentication, pops and
+    matching per receiver, batching μMAC collision fallbacks through
+    :meth:`~repro.crypto.mac.MicroMacScheme.compute_many`.
+    """
+    announce_macs = plan.announce_macs
+    forged_macs = plan.forged_macs
+    reservoir = plan.reservoir
+    item_bits = plan.item_bits
+    micro = MicroMacScheme(item_bits - INDEX_BITS)
+    capacity = config.buffers
+    kbits = capacity.bit_length()
+
+    offer_rows = pre.offer_rows
+    run_starts = pre.run_starts
+    run_ends = pre.run_ends
+    run_id = pre.run_id
+    run_intervals = pre.run_intervals
+    offer_sources = pre.offer_sources
+    reveal_intervals = pre.reveal_intervals
+    reveal_sources = pre.reveal_sources
+    n_runs = int(run_starts.size)
+    #: overflow events dedup to one surviving write per (run, victim);
+    #: packing both into one int keys the per-receiver dict cheaply.
+    rk_base = run_id * capacity
+    reveal_run = np.array(
+        [pre.run_of_interval.get(i, -1) for i in reveal_intervals],
+        dtype=np.int64,
+    )
+    reveal_src_arr = np.asarray(reveal_sources, dtype=np.int64)
+    slot_cols = np.arange(capacity)
+
+    total = len(seeds)
+    out: Tuple[List[int], ...] = ([], [], [], [], [], [], [], [])
+    (auth_c, lost_c, rejf_c, weak_c, disc_c, facc_c, recv_c, peak_c) = out
+    # Bound the largest per-block temporaries (the rank cumsums over
+    # offer slots and the bucket tensor over runs x capacity) to a few
+    # dozen MiB regardless of how long the scenario runs.
+    widest = max(int(offer_rows.size), n_runs * capacity, 1)
+    block = min(_REPLAY_BLOCK, max(32, (8 << 20) // widest))
+    for b0 in range(0, total, block):
+        b1 = min(b0 + block, total)
+        nb = b1 - b0
+        blk = delivered[:, b0:b1]
+        n_recv_l = blk.sum(axis=0, dtype=np.int64).tolist()
+        if pre.discard_rows.size:
+            n_disc_l = blk[pre.discard_rows].sum(axis=0, dtype=np.int64).tolist()
+        else:
+            n_disc_l = [0] * nb
+        if offer_rows.size:
+            d_off = blk[offer_rows]
+        else:
+            d_off = np.zeros((0, nb), dtype=bool)
+        cum = np.cumsum(d_off, axis=0, dtype=np.int32)
+        base = np.zeros((n_runs, nb), dtype=np.int32)
+        if n_runs > 1:
+            base[1:] = cum[run_starts[1:] - 1]
+        if n_runs:
+            rank = cum - base[run_id]
+            counts = cum[run_ends] - base
+        else:
+            rank = cum
+            counts = base
+        held_len = np.minimum(counts, capacity)
+        stored_m = d_off & (rank <= capacity)
+        sc = np.cumsum(stored_m, axis=0, dtype=np.int32)
+        sc_pad = np.vstack((np.zeros((1, nb), dtype=np.int32), sc))
+        total_fills_l = sc_pad[-1].tolist()
+
+        # --- overflow offers, receiver-major: the only RNG draws ---
+        # (transposing first makes np.nonzero group by receiver, in
+        # offer order — exactly the draw order of the reference loop)
+        if reservoir and offer_rows.size:
+            over_t = np.ascontiguousarray((d_off & ~stored_m).T)
+            ov_r, ov_c = np.nonzero(over_t)
+            ov_split = np.searchsorted(ov_r, np.arange(nb + 1)).tolist()
+            # m/k acceptance thresholds; int64 -> float64 division is
+            # bit-identical to the reference's Python capacity / seen.
+            thr_all = (capacity / rank[ov_c, ov_r]).tolist()
+            rkb_all = rk_base[ov_c].tolist()
+            src_all = offer_sources[ov_c].tolist()
+        else:
+            ov_split = [0] * (nb + 1)
+            thr_all = rkb_all = src_all = []
+        ev_rcv: List[int] = []
+        ev_key: List[int] = []
+        ev_src: List[int] = []
+        for local in range(nb):
+            o0 = ov_split[local]
+            o1 = ov_split[local + 1]
+            if o0 == o1:
+                continue
+            rng_r = random.Random(seeds[b0 + local])
+            rand = rng_r.random
+            getrandbits = rng_r.getrandbits
+            evmap: Dict[int, int] = {}
+            for thr, rkb, src in zip(
+                thr_all[o0:o1], rkb_all[o0:o1], src_all[o0:o1]
+            ):
+                # Keep copy k with probability m/k; the victim draw
+                # inlines CPython randrange's getrandbits rejection
+                # loop (stream-identical to the reference).
+                if rand() < thr:
+                    victim = getrandbits(kbits)
+                    while victim >= capacity:
+                        victim = getrandbits(kbits)
+                    evmap[rkb + victim] = src
+            if evmap:
+                ev_rcv.extend([local] * len(evmap))
+                ev_key.extend(evmap.keys())
+                ev_src.extend(evmap.values())
+
+        # --- final buckets: one scatter of fills + one of survivors ---
+        fin = np.zeros((nb, n_runs, capacity), dtype=np.int64)
+        if offer_rows.size:
+            stored_t = np.ascontiguousarray(stored_m.T)
+            st_r, st_c = np.nonzero(stored_t)
+            if st_r.size:
+                fin[st_r, run_id[st_c], rank[st_c, st_r] - 1] = offer_sources[
+                    st_c
+                ]
+        if ev_key:
+            keys = np.asarray(ev_key, dtype=np.int64)
+            fin[
+                np.asarray(ev_rcv, dtype=np.int64),
+                keys // capacity,
+                keys % capacity,
+            ] = np.asarray(ev_src, dtype=np.int64)
+
+        # --- reveal occurrences, vectorized containment test ---
+        if pre.reveal_rows.size:
+            d_rev_t = np.ascontiguousarray(blk[pre.reveal_rows].T)
+            rv_r, rv_c = np.nonzero(d_rev_t)
+            rv_split = np.searchsorted(rv_r, np.arange(nb + 1)).tolist()
+            rv_cols = rv_c.tolist()
+            fb_l = sc_pad[pre.pos_in_offers[rv_c], rv_r].tolist()
+            if n_runs and rv_r.size:
+                rfo = reveal_run[rv_c]
+                valid = rfo >= 0
+                rfo0 = np.where(valid, rfo, 0)
+                has_b = valid & (counts[rfo0, rv_r] > 0)
+                hl_occ = held_len[rfo0, rv_r]
+                contains = (
+                    (fin[rv_r, rfo0, :] == reveal_src_arr[rv_c, None])
+                    & (slot_cols[None, :] < hl_occ[:, None])
+                ).any(axis=1) & has_b
+                cont_l = contains.tolist()
+                hasb_l = has_b.tolist()
+                run_l = rfo.tolist()
+                hl_l = hl_occ.tolist()
+            else:
+                cont_l = hasb_l = [False] * len(rv_cols)
+                run_l = [-1] * len(rv_cols)
+                hl_l = [0] * len(rv_cols)
+        else:
+            rv_split = [0] * (nb + 1)
+            rv_cols = fb_l = run_l = hl_l = []
+            cont_l = hasb_l = []
+        hl_cum_t = (
+            np.ascontiguousarray(np.cumsum(held_len, axis=0, dtype=np.int32).T)
+            if n_runs
+            else np.zeros((nb, 0), dtype=np.int32)
+        )
+
+        # --- reveal pass: weak auth, stale pops, record matching ---
+        for local in range(nb):
+            n_auth = n_lost = n_weak = 0
+            trusted = 0
+            peak = 0
+            popped = 0
+            ptr = 0
+            decided: Dict[Tuple[int, int], bool] = {}
+            local_key = b""
+            hl_cum_row = hl_cum_t[local]
+            v0 = rv_split[local]
+            v1 = rv_split[local + 1]
+            for j, fb, cont, hasb, run, hl in zip(
+                rv_cols[v0:v1],
+                fb_l[v0:v1],
+                cont_l[v0:v1],
+                hasb_l[v0:v1],
+                run_l[v0:v1],
+                hl_l[v0:v1],
+            ):
+                interval = reveal_intervals[j]
+                source = reveal_sources[j]
+                key = (interval, source)
+                prior = decided.get(key)
+                if prior is True:
+                    continue
+                if interval > trusted:
+                    if interval - trusted > _MAX_KEY_GAP:
+                        n_weak += 1
+                        continue
+                    trusted = interval
+                # Buffer occupancy right now — evaluated before the
+                # pops below, so together with the end-of-run candidate
+                # it covers every point where the reference's
+                # append-time peak can land.
+                stored_now = fb - popped
+                if stored_now > peak:
+                    peak = stored_now
+                cutoff = interval - 1
+                if ptr < n_runs and run_intervals[ptr] < cutoff:
+                    while ptr < n_runs and run_intervals[ptr] < cutoff:
+                        ptr += 1
+                    popped = int(hl_cum_row[ptr - 1])
+                if prior is None:
+                    if cont:
+                        matched = True
+                    elif hasb:
+                        # No surviving record shares this reveal's MAC
+                        # bytes — decide by actual μMAC equality so
+                        # 24-bit collisions authenticate exactly as in
+                        # the DES, one batch per miss.
+                        if not local_key:
+                            local_key = _seed_bytes(
+                                config, f"local-{start + b0 + local}"
+                            )
+                        held = fin[local, run, :hl].tolist()
+                        batch = [announce_macs[key]]
+                        for slot in held:
+                            batch.append(
+                                announce_macs[(interval, slot)]
+                                if slot >= 0
+                                else forged_macs[-1 - slot]
+                            )
+                        digests = micro.compute_many(local_key, batch)
+                        expected = digests[0]
+                        matched = any(d == expected for d in digests[1:])
+                    else:
+                        matched = False
+                    decided[key] = matched
+                else:
+                    matched = False
+                if matched:
+                    n_auth += 1
+                else:
+                    n_lost += 1
+            end_stored = total_fills_l[local] - popped
+            if end_stored > peak:
+                peak = end_stored
+            auth_c.append(n_auth)
+            lost_c.append(n_lost)
+            rejf_c.append(0)
+            weak_c.append(n_weak)
+            disc_c.append(n_disc_l[local])
+            facc_c.append(0)
+            recv_c.append(n_recv_l[local])
+            peak_c.append(peak * item_bits)
     return out  # type: ignore[return-value]
 
 

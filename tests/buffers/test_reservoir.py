@@ -183,3 +183,68 @@ class TestKeepFirstBuffer:
         for i in range(5):
             buf.offer(i)
         assert buf.seen_count == 5
+
+
+class _SubclassedRandom(random.Random):
+    """Forces offer_many onto its generic (randrange-based) branch."""
+
+
+class TestOfferMany:
+    """offer_many must be state- and draw-identical to per-item offer."""
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=8),
+        offers=st.integers(min_value=0, max_value=200),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_draw_identical_to_sequential_offers(self, capacity, offers, seed):
+        sequential = ReservoirBuffer(capacity, rng=random.Random(seed))
+        stored_seq = 0
+        for item in range(offers):
+            if sequential.offer(item).stored:
+                stored_seq += 1
+        batched = ReservoirBuffer(capacity, rng=random.Random(seed))
+        stored_many = batched.offer_many(range(offers))
+        assert batched.items == sequential.items
+        assert batched.seen_count == sequential.seen_count
+        assert stored_many == stored_seq
+        # The RNG streams advanced identically: the *next* draw agrees.
+        assert batched._rng.random() == sequential._rng.random()
+
+    def test_generic_rng_branch_is_also_draw_identical(self):
+        """A Random subclass skips the inlined getrandbits fast path;
+        the randrange fallback must consume the identical stream."""
+        for seed in (7, 11, 23):
+            fast = ReservoirBuffer(3, rng=random.Random(seed))
+            generic = ReservoirBuffer(3, rng=_SubclassedRandom(seed))
+            fast.offer_many(range(100))
+            generic.offer_many(range(100))
+            assert fast.items == generic.items
+            assert fast.seen_count == generic.seen_count
+            assert fast._rng.random() == generic._rng.random()
+
+    def test_resumes_mid_stream(self):
+        """Mixing offer and offer_many on one buffer stays identical to
+        a pure offer sequence."""
+        mixed = ReservoirBuffer(2, rng=random.Random(5))
+        pure = ReservoirBuffer(2, rng=random.Random(5))
+        for item in range(10):
+            mixed.offer(item)
+            pure.offer(item)
+        mixed.offer_many(range(10, 50))
+        for item in range(10, 50):
+            pure.offer(item)
+        assert mixed.items == pure.items
+        assert mixed.seen_count == pure.seen_count
+
+    def test_keep_first_default_delegation(self):
+        buf = KeepFirstBuffer(3)
+        assert buf.offer_many(range(10)) == 3
+        assert buf.items == [0, 1, 2]
+        assert buf.seen_count == 10
+
+    def test_empty_iterable(self):
+        buf = ReservoirBuffer(2, rng=random.Random(1))
+        assert buf.offer_many([]) == 0
+        assert buf.seen_count == 0

@@ -51,6 +51,21 @@ class TestTruncateToBits:
         out = truncate_to_bits(digest, bits)
         assert len(out) == (bits + 7) // 8
 
+    @pytest.mark.parametrize("bits", [7, 24, 80, 255])
+    @given(digest=st.binary(min_size=32, max_size=32))
+    def test_storage_model_widths(self, bits, digest):
+        """The widths the bit-accurate storage model uses (sub-byte, the
+        paper's 24-bit μMAC and 80-bit MAC, and the top boundary):
+        prefix preserved, spare bits zeroed, truncation idempotent."""
+        out = truncate_to_bits(digest, bits)
+        assert len(out) == (bits + 7) // 8
+        assert out[: bits // 8] == digest[: bits // 8]
+        spare = len(out) * 8 - bits
+        if spare:
+            assert out[-1] == digest[len(out) - 1] & ((0xFF << spare) & 0xFF)
+            assert out[-1] & ((1 << spare) - 1) == 0
+        assert truncate_to_bits(out, bits) == out
+
 
 class TestOneWayFunction:
     def test_output_width_default(self, owf):

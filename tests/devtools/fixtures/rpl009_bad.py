@@ -1,0 +1,29 @@
+"""RPL009 bad corpus: stray blake2 primitives and scalar MACs in loops."""
+
+import hashlib
+from hashlib import blake2s
+
+from repro.crypto.mac import MacScheme, MicroMacScheme
+
+
+def fast_tag(key: bytes, mac: bytes) -> bytes:
+    # direct blake2b: sidesteps kernels.fast_micro_mac and FAST_UMAC
+    return hashlib.blake2b(mac, key=key, digest_size=3).digest()
+
+
+def fast_tag_member(key: bytes, mac: bytes) -> bytes:
+    # member-imported blake2s: same bypass through an alias
+    return blake2s(mac, key=key, digest_size=3).digest()
+
+
+def verify_all(scheme: MacScheme, key: bytes, records):
+    ok = []
+    for message, mac in records:
+        # scalar verify in a flood loop: one key-block setup per record
+        ok.append(scheme.verify(key, message, mac))
+    return ok
+
+
+def tag_all(micro: MicroMacScheme, key: bytes, macs):
+    # scalar compute in a comprehension: same per-call setup cost
+    return [micro.compute(key, mac) for mac in macs]

@@ -1,0 +1,22 @@
+"""RPL009 good corpus: batch APIs and the kernel-routed fast path."""
+
+from repro.crypto import kernels
+from repro.crypto.mac import MacScheme, MicroMacScheme
+
+
+def fast_tag(key: bytes, mac: bytes) -> bytes:
+    # the non-faithful fast μMAC goes through the kernel switchboard
+    return kernels.fast_micro_mac(key, mac, 24)
+
+
+def verify_all(scheme: MacScheme, key: bytes, records):
+    return scheme.verify_many(key, records)
+
+
+def tag_all(micro: MicroMacScheme, key: bytes, macs):
+    return micro.compute_many(key, macs)
+
+
+def one_off(scheme: MacScheme, key: bytes, message: bytes) -> bytes:
+    # a single scalar compute outside any loop is fine
+    return scheme.compute(key, message)

@@ -142,7 +142,7 @@ class TestReportsAndExitCodes:
         }
         assert document["version"] == 1
         assert document["files_checked"] == 2
-        assert document["rules"] == [f"RPL00{i}" for i in range(1, 9)]
+        assert document["rules"] == [f"RPL00{i}" for i in range(1, 10)]
         (violation,) = document["violations"]
         assert set(violation) == {"rule", "path", "line", "col", "message"}
         assert violation["rule"] == "RPL002"
@@ -153,7 +153,7 @@ class TestReportsAndExitCodes:
         text = report.format_text()
         assert "dirty.py:5:" in text
         assert "RPL002" in text
-        assert text.endswith("1 violation in 2 files (8 rules)")
+        assert text.endswith("1 violation in 2 files (9 rules)")
 
     def test_main_exit_codes(self, tmp_path, capsys):
         clean = self._write_tree(tmp_path / "a", bad=False)
@@ -180,7 +180,7 @@ class TestReportsAndExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for index in range(1, 9):
+        for index in range(1, 10):
             assert f"RPL00{index}" in out
 
     def test_execute_matches_main(self, tmp_path, capsys):

@@ -25,6 +25,7 @@ CASES = {
     "RPL006": ("repro/game/fixture_mod.py", 1),
     "RPL007": ("repro/scenarios/fixture_mod.py", 4),
     "RPL008": ("repro/sim/fixture_mod.py", 3),
+    "RPL009": ("repro/protocols/fixture_mod.py", 4),
 }
 
 
@@ -191,9 +192,9 @@ def test_rpl007_names_the_missing_keywords():
 
 def test_rule_catalog_covers_all_rules():
     catalog = rule_catalog()
-    assert len(catalog) == len(ALL_RULES) == 8
+    assert len(catalog) == len(ALL_RULES) == 9
     codes = [code for code, _name, _description in catalog]
     assert codes == sorted(codes)
-    assert codes[0] == "RPL001" and codes[-1] == "RPL008"
+    assert codes[0] == "RPL001" and codes[-1] == "RPL009"
     for _code, name, description in catalog:
         assert name and description

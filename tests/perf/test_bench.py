@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -46,12 +47,40 @@ class TestRunBench:
         assert smoke_document["preset"] == "smoke"
         results = smoke_document["results"]
         assert set(results) == {
-            "one_way", "keychain_walks", "mac_verify", "pebbled", "scenario"
+            "one_way", "keychain_walks", "mac_verify", "mac_batch",
+            "umac_reservoir", "fast_umac", "pebbled", "scenario",
         }
         for section in ("one_way", "keychain_walks", "mac_verify"):
             assert results[section]["naive_ops_per_sec"] > 0
             assert results[section]["kernel_ops_per_sec"] > 0
             assert results[section]["speedup"] > 0
+        for section in ("mac_batch", "umac_reservoir"):
+            assert results[section]["scalar_ops_per_sec"] > 0
+            assert results[section]["batched_ops_per_sec"] > 0
+            assert results[section]["speedup"] > 0
+
+    def test_umac_reservoir_checks_survivor_identity(self, smoke_document):
+        assert smoke_document["results"]["umac_reservoir"][
+            "identical_survivors"
+        ] is True
+
+    def test_fast_umac_section_is_marked_non_faithful(self, smoke_document):
+        fast = smoke_document["results"]["fast_umac"]
+        assert fast["faithful_bytes"] is False
+        assert fast["hmac_scalar_ops_per_sec"] > 0
+        assert fast["fast_ops_per_sec"] > 0
+        assert fast["fast_speedup"] > 0
+
+    def test_scenario_reports_the_three_way_comparison(self, smoke_document):
+        scenario = smoke_document["results"]["scenario"]
+        assert scenario["naive_wall_seconds"] > 0
+        assert scenario["reference_wall_seconds"] > 0
+        assert scenario["kernel_wall_seconds"] > 0
+        assert scenario["speedup"] > 0
+        assert scenario["replay_speedup"] > 0
+        assert scenario["receivers"] == BENCH_PRESETS["smoke"][
+            "scenario_receivers"
+        ]
 
     def test_keychain_walks_meet_the_acceptance_bar(self, smoke_document):
         """The checked-in artifact claims >= 2x on the keychain
@@ -62,6 +91,7 @@ class TestRunBench:
         counters = smoke_document["results"]["scenario"]["counters"]
         assert counters["crypto.hash"] > 0
         assert counters["crypto.mac"] > 0
+        assert counters["crypto.mac.batches"] > 0
         assert smoke_document["results"]["scenario"]["identical_summaries"]
 
     def test_pebbled_section_reports_the_memory_story(self, smoke_document):
@@ -75,6 +105,19 @@ class TestRunBench:
         loaded = json.loads(path.read_text())
         assert loaded["preset"] == "smoke"
         assert path.read_text().endswith("\n")
+
+
+class TestCheckedInArtifact:
+    def test_bench_crypto_artifact_meets_the_speedup_floor(self):
+        """The committed BENCH_crypto.json documents the fig5 end-to-end
+        speedup the CI perf-smoke job enforces: naive DES stack vs the
+        fleet kernel stack, summaries byte-identical in the same run."""
+        path = Path(__file__).resolve().parents[2] / "BENCH_crypto.json"
+        scenario = json.loads(path.read_text())["results"]["scenario"]
+        assert scenario["identical_summaries"] is True
+        assert scenario["speedup"] >= 1.5
+        assert scenario["replay_speedup"] > 0
+        assert scenario["counters"]["crypto.mac.batches"] > 0
 
 
 class TestSimBenchReceiversScaling:

@@ -14,6 +14,8 @@ from repro.errors import ConfigurationError
 from repro.net.harness import shard_sizes
 from repro.scenarios.families import ALL_PROTOCOLS
 from repro.sim import fleet
+from repro import perf
+from repro.crypto.kernels import fast_umac, kernels_disabled
 from repro.sim.fleet import (
     EquivalenceReport,
     run_fleet_scenario,
@@ -253,6 +255,84 @@ class TestSharding:
             )
         assert parallel.fleet == serial.fleet
         assert aggregate.fleet == FleetAggregate.from_summary(serial.fleet)
+
+
+class TestBatchedReplay:
+    """The PR-9 hot path: batched MACs and the vectorized reservoir
+    kernel behind the kernel switch."""
+
+    @staticmethod
+    def _config(protocol="dap", seed=7):
+        return ScenarioConfig(
+            protocol=protocol,
+            intervals=20,
+            receivers=6,
+            buffers=4,
+            attack_fraction=0.5,
+            loss_probability=0.1,
+            seed=seed,
+            engine="vectorized",
+        )
+
+    @pytest.mark.parametrize("protocol", ["dap", "tesla_pp"])
+    @pytest.mark.parametrize("seed", CATALOG_SEEDS)
+    def test_reservoir_kernel_matches_reference_replay(self, protocol, seed):
+        """Kernels on (one-pass numpy reservoir) vs off (scalar
+        draw-for-draw loop) must be byte-identical — the correctness
+        gate for the vectorized Algorithm-2 kernel."""
+        config = self._config(protocol, seed)
+        kernel = run_fleet_scenario(config)
+        with kernels_disabled():
+            reference = run_fleet_scenario(config)
+        assert kernel.fleet == reference.fleet
+        assert kernel.sent_authentic == reference.sent_authentic
+        assert (
+            kernel.forged_bandwidth_fraction
+            == reference.forged_bandwidth_fraction
+        )
+
+    @pytest.mark.parametrize("protocol", ["dap", "multilevel"])
+    def test_replay_batches_macs_not_single_pairs(self, protocol):
+        """Regression for the single-pair verify_many anti-pattern: one
+        batch call covers a whole slot's digests, so digests far
+        outnumber batch calls. If plan construction or the replay
+        degrades to one pair per call again, the ratio collapses to ~1
+        and this assertion goes red."""
+        config = dataclasses.replace(
+            self._config(protocol), packets_per_interval=4
+        )
+        with perf.collecting() as registry:
+            run_fleet_scenario(config)
+        batches = registry.counter("crypto.mac.batches")
+        macs = registry.counter("crypto.mac")
+        assert batches > 0
+        assert macs / batches >= 2.0
+
+    def test_fast_umac_keeps_engines_byte_identical(self):
+        """Both engines route μMACs through MicroMacScheme, so the
+        non-faithful FAST_UMAC bytes change *both* identically: the
+        DES/fleet equivalence harness must still report exact
+        mirroring with the switch on."""
+        config = self._config()
+        with fast_umac(True):
+            report = statistical_equivalence(config, seeds=range(1, 4))
+        assert report.passes
+        assert report.identical == len(report.seeds)
+
+    def test_fast_umac_is_statistically_equivalent_to_faithful(self):
+        """Fast-on vs fast-off runs may differ on individual 2^-24
+        collision placements but must agree on aggregate figures."""
+        config = self._config()
+        faithful = run_fleet_scenario(config)
+        with fast_umac(True):
+            fast = run_fleet_scenario(config)
+        assert fast.sent_authentic == faithful.sent_authentic
+        assert abs(
+            fast.authentication_rate - faithful.authentication_rate
+        ) <= 0.05
+        assert abs(
+            fast.attack_success_rate - faithful.attack_success_rate
+        ) <= 0.05
 
 
 class TestCacheKeys:
