@@ -16,7 +16,8 @@ Subcommands::
     repro attack      flood a testbed deployment with forgeries
     repro profile     cProfile + perf counters over a scenario preset
     repro bench       crypto or sim bench suite -> BENCH_<suite>.json
-    repro lint        reprolint: check the repo's AST invariants
+    repro lint        reprolint: per-file + whole-program AST invariants
+    repro sanitize    runtime sanitizers: determinism / locks / resources
 
 Every subcommand is a thin shim over the library — anything printed
 here is available programmatically (see README).
@@ -594,7 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
         help="report format (default: text)",
     )
@@ -605,9 +606,129 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (default: all)",
     )
     lint.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (RPL010..RPL012)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="suppress violations recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record current violations as the baseline and exit 0",
+    )
+    lint.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="runtime sanitizers: determinism, lock order, resources",
+    )
+    sanitize_sub = sanitize.add_subparsers(
+        dest="sanitize_command", required=True
+    )
+    sdet = sanitize_sub.add_parser(
+        "determinism",
+        help="run a scenario twice under RNG tracing and diff the draws",
+    )
+    sdet.add_argument(
+        "--scenario",
+        required=True,
+        metavar="NAME",
+        help="registered catalog scenario (repro scenarios list)",
+    )
+    sdet.add_argument(
+        "--seed", type=int, default=None, help="override the catalog seed"
+    )
+    sdet.add_argument(
+        "--mutate-draw",
+        type=_nonnegative_int,
+        default=None,
+        metavar="K",
+        help="self-test: corrupt global draw K in the second run and"
+        " require the sanitizer to localize it (exit 1 if it cannot)",
+    )
+    sdet.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the draw-trace diff as a JSON artifact",
+    )
+    slocks = sanitize_sub.add_parser(
+        "locks",
+        help="track lock acquisition order across a cluster soak",
+    )
+    slocks.add_argument(
+        "--scenario",
+        required=True,
+        metavar="NAME",
+        help="registered catalog scenario to shard across the soak",
+    )
+    slocks.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="local worker daemons to spawn (default: 2)",
+    )
+    slocks.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="shard tasks per round (default: workers)",
+    )
+    slocks.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=120.0,
+        metavar="SECONDS",
+        help="hard wall-clock deadline for the soak (default: 120)",
+    )
+    slocks.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the lock-order report as a JSON artifact",
+    )
+    sres = sanitize_sub.add_parser(
+        "resources",
+        help="track SharedMemory/socket/file lifetimes across a fleet run",
+    )
+    sres.add_argument(
+        "--scenario",
+        required=True,
+        metavar="NAME",
+        help="registered catalog scenario for the fleet engine",
+    )
+    sres.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=2,
+        help="process-pool size (>= 2 exercises the shared-memory path)",
+    )
+    sres.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=2,
+        help="receiver-axis shards (default: 2)",
+    )
+    sres.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the resource report as a JSON artifact",
     )
 
     return parser
@@ -1220,7 +1341,126 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         output_format=args.format,
         select_csv=args.select,
         list_rules=args.list_rules,
+        project=args.project,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
     )
+
+
+def _write_sanitize_artifact(path: Optional[Path], document: dict) -> None:
+    import json
+
+    if path is None:
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _sanitize_determinism(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.devtools.sanitizers import determinism
+    from repro.sim.scenario import run_scenario
+
+    scenario = get_scenario(args.scenario).config
+    if args.seed is not None:
+        scenario = dataclasses.replace(scenario, seed=args.seed)
+    with determinism.tracing() as reference:
+        run_scenario(scenario)
+    second = determinism.DeterminismSanitizer(corrupt_draw=args.mutate_draw)
+    with determinism.tracing(second):
+        run_scenario(scenario)
+    divergences = reference.trace.diff(second.trace)
+    document = {
+        "scenario": args.scenario,
+        "seed": scenario.seed,
+        "total_draws": reference.trace.total_draws(),
+        "mutate_draw": args.mutate_draw,
+        "corrupted_site": second.corrupted_site,
+        "divergences": [d.to_dict() for d in divergences],
+    }
+    _write_sanitize_artifact(args.json, document)
+    print(
+        f"sanitize determinism: {document['total_draws']} draws,"
+        f" {len(divergences)} divergences"
+    )
+    for divergence in divergences[:5]:
+        print(f"  {divergence.stream}: {divergence.reason}")
+    if args.mutate_draw is not None:
+        # Self-test mode: the injected corruption must be caught.
+        caught = bool(divergences)
+        print(
+            "sanitize determinism: injected corruption"
+            f" {'LOCALIZED at ' + str(second.corrupted_site) if caught else 'MISSED'}"
+        )
+        return 0 if caught else 1
+    return 1 if divergences else 0
+
+
+def _sanitize_locks(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterConfig, run_cluster_soak
+    from repro.devtools.sanitizers import locks
+
+    scenario = get_scenario(args.scenario).config
+    shards = args.shards if args.shards is not None else args.workers
+    config = ClusterConfig(
+        scenario=scenario,
+        workers=args.workers,
+        shards=min(shards, scenario.receivers),
+        max_runtime=args.duration,
+    )
+    with locks.tracking() as sanitizer:
+        run_cluster_soak(config)
+    inversions = sanitizer.inversions()
+    _write_sanitize_artifact(args.json, sanitizer.to_json())
+    print(
+        f"sanitize locks: {sanitizer.acquisitions} acquisitions,"
+        f" {len(sanitizer.edges)} order edges,"
+        f" {len(sanitizer.blocked)} blocked waits,"
+        f" {len(inversions)} inversions"
+    )
+    for inversion in inversions:
+        print(
+            f"  {inversion.first} -> {inversion.second}"
+            f" (forward {inversion.forward_site},"
+            f" backward {inversion.backward_site})"
+        )
+    return 1 if inversions else 0
+
+
+def _sanitize_resources(args: argparse.Namespace) -> int:
+    from repro.devtools.sanitizers import resources
+    from repro.sim import fleet
+
+    scenario = get_scenario(args.scenario).config
+    executor = executor_for(args.jobs)
+    try:
+        with resources.tracking() as sanitizer:
+            fleet.run_fleet_scenario(
+                scenario, shards=args.shards, executor=executor
+            )
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
+    leaks = sanitizer.leaks()
+    _write_sanitize_artifact(args.json, sanitizer.to_json())
+    print(
+        f"sanitize resources: {sanitizer.tracked} tracked,"
+        f" {sanitizer.released} released, {len(leaks)} leaks"
+    )
+    for leak in leaks:
+        print(f"  {leak.kind} {leak.label} created at {leak.site}")
+    return 1 if leaks else 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    if args.sanitize_command == "determinism":
+        return _sanitize_determinism(args)
+    if args.sanitize_command == "locks":
+        return _sanitize_locks(args)
+    return _sanitize_resources(args)
 
 
 _COMMANDS = {
@@ -1239,6 +1479,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "sanitize": _cmd_sanitize,
 }
 
 

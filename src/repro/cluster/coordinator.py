@@ -61,6 +61,8 @@ from repro.cluster.protocol import (
 )
 from repro.cluster.reconcile import Reconciliation, reconcile_soaks
 from repro.cluster.shards import ShardTask, plan_tasks
+from repro.devtools.sanitizers.locks import tracked_lock
+from repro.devtools.sanitizers.resources import release_resource, track_resource
 from repro.errors import ClusterError
 from repro.net.harness import LoadTestReport, SoakResult, merge_soaks
 from repro.sim.scenario import ScenarioConfig
@@ -104,9 +106,12 @@ class ClusterResult:
 class _WorkerHandle:
     """Coordinator-side view of one connected worker."""
 
-    def __init__(self, worker_id: int, stream: MessageStream, now: float) -> None:
+    def __init__(
+        self, worker_id: int, stream: MessageStream, now: float, pid: int = 0
+    ) -> None:
         self.worker_id = worker_id
         self.stream = stream
+        self.pid = pid
         self.connected = True
         self.partitioned = False
         self.last_heartbeat = now
@@ -126,7 +131,7 @@ class ClusterCoordinator:
         self._tasks: Dict[str, ShardTask] = {
             task.task_id: task for task in self._task_list
         }
-        self._lock = threading.RLock()
+        self._lock = tracked_lock("cluster.coordinator", reentrant=True)
         self._pending: Deque[ShardTask] = deque(self._task_list)
         self._leases = LeaseTable()
         self._attempts: Dict[str, int] = {}
@@ -157,6 +162,11 @@ class ClusterCoordinator:
         server = socket.create_server((config.host, config.port))
         server.settimeout(0.25)
         self.port = server.getsockname()[1]
+        track_resource(
+            "socket",
+            str(id(server)),
+            f"coordinator listener {config.host}:{self.port}",
+        )
         accept_thread = threading.Thread(
             target=self._accept_loop,
             args=(server,),
@@ -176,6 +186,7 @@ class ClusterCoordinator:
                 server.close()
             except OSError:
                 pass
+            release_resource("socket", str(id(server)))
             accept_thread.join(timeout=2.0)
             if self._metrics is not None:
                 self._metrics.close()
@@ -475,7 +486,9 @@ class ClusterCoordinator:
                 worker_id = self._assign_worker_id(
                     int(requested) if requested is not None else None
                 )
-                handle = _WorkerHandle(worker_id, stream, now)
+                handle = _WorkerHandle(
+                    worker_id, stream, now, pid=int(hello.get("pid", 0))
+                )
                 self._workers[worker_id] = handle
             stream.send(
                 {
@@ -622,6 +635,7 @@ class ClusterCoordinator:
                 "nacks": self._nacks,
                 "workers": {
                     str(handle.worker_id): {
+                        "pid": handle.pid,
                         "connected": handle.connected,
                         "partitioned": handle.partitioned,
                         "inflight": handle.inflight_reported,

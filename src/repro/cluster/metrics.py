@@ -21,10 +21,11 @@ threads and the dispatch loop share one log.
 from __future__ import annotations
 
 import json
-import threading
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
+from repro.devtools.sanitizers.locks import tracked_lock
+from repro.devtools.sanitizers.resources import release_resource, track_resource
 from repro.errors import ClusterError
 
 __all__ = ["MetricsLog", "read_metrics"]
@@ -37,7 +38,8 @@ class MetricsLog:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
-        self._lock = threading.Lock()
+        track_resource("file", str(id(self._handle)), f"metrics log {self.path}")
+        self._lock = tracked_lock("cluster.metrics")
         self._closed = False
 
     def write(self, record: Dict[str, Any]) -> None:
@@ -54,6 +56,7 @@ class MetricsLog:
             if not self._closed:
                 self._closed = True
                 self._handle.close()
+                release_resource("file", str(id(self._handle)))
 
     def __enter__(self) -> "MetricsLog":
         return self

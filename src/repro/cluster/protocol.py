@@ -34,6 +34,8 @@ from collections import deque
 from dataclasses import asdict
 from typing import Any, Deque, Dict, Optional
 
+from repro.devtools.sanitizers.locks import tracked_lock
+from repro.devtools.sanitizers.resources import release_resource, track_resource
 from repro.errors import ClusterError
 from repro.net.harness import SoakResult
 from repro.sim.metrics import FleetSummary, NodeSummary
@@ -136,7 +138,8 @@ class MessageStream:
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
-        self._send_lock = threading.Lock()
+        track_resource("socket", str(id(sock)), "cluster message stream")
+        self._send_lock = tracked_lock("cluster.stream.send")
         self._buffer = b""
         self._lines: Deque[bytes] = deque()
         self._closed = False
@@ -202,3 +205,4 @@ class MessageStream:
             self._sock.close()
         except OSError:
             pass
+        release_resource("socket", str(id(self._sock)))

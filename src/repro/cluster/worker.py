@@ -34,6 +34,7 @@ from repro.cluster.protocol import (
     decode_scenario,
     encode_soak,
 )
+from repro.devtools.sanitizers.locks import tracked_lock
 from repro.errors import ClusterError, ReproError
 from repro.net.harness import predicted_soak, run_loopback_soak
 
@@ -72,7 +73,7 @@ class WorkerDaemon:
         self.worker_id = worker_id
         self.connect_timeout = connect_timeout
         self._stop = threading.Event()
-        self._state_lock = threading.Lock()
+        self._state_lock = tracked_lock("cluster.worker.state")
         self._active: Set[str] = set()
         self._max_inflight = 1
         self._heartbeat_interval = 0.2

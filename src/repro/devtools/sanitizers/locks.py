@@ -1,0 +1,284 @@
+"""LockOrderSanitizer: acquisition-order tracking across named locks.
+
+The concurrent pieces of this repo — ``PerfRegistry`` (written from
+every instrumented hot path), the ``ChainWalkCache`` shared by fleet
+shards, the cluster coordinator with its ``LeaseTable``, per-connection
+``MessageStream`` send locks and the ``MetricsLog`` — each hold their
+own lock. None of them is *supposed* to nest except along the blessed
+order (coordinator → lease table / stream / metrics). This sanitizer
+verifies that empirically: every instrumented lock records, per thread,
+the set of locks already held at acquisition time; the resulting edge
+graph is checked for **inversions** (both ``A→B`` and ``B→A``
+observed — a latent deadlock) and for **blocking-under-lock** (an
+acquisition that stalled measurably while the thread held another
+lock — a convoy in the making).
+
+Hot-path contract: :func:`tracked_lock` returns a *plain*
+``threading.Lock``/``RLock`` when the sanitizer is disabled — zero
+wrapper cost in production. :func:`optional_lock` returns ``None`` when
+disabled, for call sites (``ChainWalkCache``) whose fast path must not
+even acquire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple, Type, Union
+
+__all__ = [
+    "ACTIVE",
+    "BlockedAcquire",
+    "LockInversion",
+    "LockOrderSanitizer",
+    "TrackedLock",
+    "disable",
+    "enable",
+    "enabled",
+    "optional_lock",
+    "tracked_lock",
+    "tracking",
+]
+
+
+@dataclass(frozen=True)
+class LockInversion:
+    """Both orders of one lock pair were observed — a latent deadlock."""
+
+    first: str
+    second: str
+    forward_site: str  #: a site that acquired ``second`` while holding ``first``
+    backward_site: str  #: a site that acquired ``first`` while holding ``second``
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "first": self.first,
+            "second": self.second,
+            "forward_site": self.forward_site,
+            "backward_site": self.backward_site,
+        }
+
+
+@dataclass(frozen=True)
+class BlockedAcquire:
+    """An acquisition that stalled while the thread held another lock."""
+
+    held: str
+    acquiring: str
+    waited_seconds: float
+    site: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "held": self.held,
+            "acquiring": self.acquiring,
+            "waited_seconds": self.waited_seconds,
+            "site": self.site,
+        }
+
+
+def _site() -> str:
+    import sys
+
+    frame = sys._getframe(1)
+    own = __file__
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename != own and "threading" not in filename:
+            return f"{filename}:{frame.f_lineno}:{frame.f_code.co_name}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+class LockOrderSanitizer:
+    """Accumulates held→acquiring edges and blocked-acquire events.
+
+    ``block_threshold`` (seconds) is the stall beyond which an acquire
+    made while holding another lock is reported as a
+    :class:`BlockedAcquire`.
+    """
+
+    def __init__(self, block_threshold: float = 0.010) -> None:
+        self.block_threshold = block_threshold
+        #: (held, acquiring) → first call site that observed the edge
+        self.edges: Dict[Tuple[str, str], str] = {}
+        self.blocked: List[BlockedAcquire] = []
+        self.acquisitions = 0
+        self._tls = threading.local()
+        self._mutex = threading.Lock()
+
+    # -- per-thread held stack ------------------------------------------------
+
+    def _held(self) -> List[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def note_acquire(self, name: str, waited: float, site: str) -> None:
+        held = self._held()
+        with self._mutex:
+            self.acquisitions += 1
+            for other in held:
+                if other == name:
+                    continue  # re-entrant self-nesting is not an ordering edge
+                self.edges.setdefault((other, name), site)
+                if waited >= self.block_threshold:
+                    self.blocked.append(BlockedAcquire(other, name, waited, site))
+        held.append(name)
+
+    def note_release(self, name: str) -> None:
+        held = self._held()
+        # Remove the innermost matching entry (locks may release out of
+        # LIFO order; RLocks release one nesting level at a time).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                break
+
+    # -- reporting ------------------------------------------------------------
+
+    def inversions(self) -> Tuple[LockInversion, ...]:
+        """Lock pairs observed in both orders."""
+        with self._mutex:
+            edges = dict(self.edges)
+        seen: Set[Tuple[str, str]] = set()
+        out: List[LockInversion] = []
+        for (a, b), forward_site in sorted(edges.items()):
+            if (b, a) in edges and (b, a) not in seen:
+                seen.add((a, b))
+                out.append(LockInversion(a, b, forward_site, edges[(b, a)]))
+        return tuple(out)
+
+    def to_json(self) -> Dict[str, Any]:
+        with self._mutex:
+            edges = dict(self.edges)
+            blocked = list(self.blocked)
+            acquisitions = self.acquisitions
+        return {
+            "acquisitions": acquisitions,
+            "edges": [
+                {"held": a, "acquiring": b, "site": site}
+                for (a, b), site in sorted(edges.items())
+            ],
+            "inversions": [inv.to_dict() for inv in self.inversions()],
+            "blocked": [event.to_dict() for event in blocked],
+        }
+
+
+class TrackedLock:
+    """Context-manager lock wrapper that reports to the sanitizer.
+
+    Wraps a plain ``Lock`` or ``RLock`` and mirrors the subset of the
+    lock API the repo uses (``with``, ``acquire``/``release``).
+    """
+
+    __slots__ = ("_lock", "name", "_sanitizer")
+
+    def __init__(
+        self,
+        name: str,
+        sanitizer: LockOrderSanitizer,
+        *,
+        reentrant: bool = False,
+    ) -> None:
+        self.name = name
+        self._sanitizer = sanitizer
+        self._lock: Any = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        start = time.perf_counter()
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            waited = time.perf_counter() - start
+            self._sanitizer.note_acquire(self.name, waited, _site())
+        return bool(acquired)
+
+    def release(self) -> None:
+        self._sanitizer.note_release(self.name)
+        self._lock.release()
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+
+#: Process-wide active sanitizer; ``None`` disables lock tracking.
+ACTIVE: Optional[LockOrderSanitizer] = None
+
+
+def enabled() -> bool:
+    """Whether lock-order tracking is currently active."""
+    return ACTIVE is not None
+
+
+def enable(sanitizer: Optional[LockOrderSanitizer] = None) -> LockOrderSanitizer:
+    """Install ``sanitizer`` (or a fresh one) as the active tracker."""
+    global ACTIVE
+    ACTIVE = sanitizer if sanitizer is not None else LockOrderSanitizer()
+    return ACTIVE
+
+
+def disable() -> Optional[LockOrderSanitizer]:
+    """Stop tracking; returns the sanitizer that was active, if any."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = None
+    return previous
+
+
+@contextmanager
+def tracking(
+    sanitizer: Optional[LockOrderSanitizer] = None,
+) -> Iterator[LockOrderSanitizer]:
+    """Track lock orders for the block's duration; restores prior state.
+
+    Only locks *constructed* inside the block are tracked — long-lived
+    singletons built before the block keep their plain locks. The CLI
+    therefore enables tracking before building the objects under test.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    active = sanitizer if sanitizer is not None else LockOrderSanitizer()
+    ACTIVE = active
+    try:
+        yield active
+    finally:
+        ACTIVE = previous
+
+
+def tracked_lock(
+    name: str, *, reentrant: bool = False
+) -> Union[threading.Lock, "threading.RLock", TrackedLock]:  # type: ignore[valid-type]
+    """A lock participating in order tracking when the sanitizer is on.
+
+    Returns a *plain* ``threading.Lock``/``RLock`` when disabled, so
+    production call sites pay native-lock cost with no wrapper frame.
+    """
+    if ACTIVE is None:
+        return threading.RLock() if reentrant else threading.Lock()
+    return TrackedLock(name, ACTIVE, reentrant=reentrant)
+
+
+def optional_lock(name: str) -> Optional[TrackedLock]:
+    """``None`` when disabled — for hot paths that skip locking entirely.
+
+    ``ChainWalkCache`` uses this: its fast path is lock-free by design
+    (single-threaded shards), and only under the sanitizer does it take
+    a tracked lock so cross-shard ordering is observable.
+    """
+    if ACTIVE is None:
+        return None
+    return TrackedLock(name, ACTIVE)

@@ -31,6 +31,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import perf
+from repro.devtools.sanitizers.determinism import traced_rng
 from repro.engine import Executor, run_tasks
 from repro.errors import ConfigurationError
 from repro.net.daemons import Broadcaster, ReceiverDaemon
@@ -102,8 +103,8 @@ def derive_soak_world(config: ScenarioConfig) -> SoakWorld:
             f"live testbed supports protocols {_NET_PROTOCOLS},"
             f" got {config.protocol!r}"
         )
-    rng = random.Random(config.seed)
-    proxy_rng = random.Random(rng.getrandbits(64))
+    rng = traced_rng(random.Random(config.seed), "master")
+    proxy_rng = traced_rng(random.Random(rng.getrandbits(64)), "proxy")
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
     workload = workload_for(config)
@@ -111,7 +112,7 @@ def derive_soak_world(config: ScenarioConfig) -> SoakWorld:
     sender, receivers, factory, authentic_copies, sent_authentic = (
         build_two_phase_protocol(config, condition, workload, rng)
     )
-    attacker_rng = random.Random(rng.getrandbits(64))
+    attacker_rng = traced_rng(random.Random(rng.getrandbits(64)), "attacker")
     return SoakWorld(
         schedule=schedule,
         sender=sender,

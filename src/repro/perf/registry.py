@@ -25,10 +25,11 @@ lock acquisition per update — noise next to the hashing it measures.
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator
+
+from repro.devtools.sanitizers.locks import tracked_lock
 
 __all__ = ["Observation", "PerfRegistry"]
 
@@ -90,7 +91,7 @@ class PerfRegistry:
         self.counters: Dict[str, int] = {}
         self.observations: Dict[str, Observation] = {}
         self.timers: Dict[str, float] = {}
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("perf.registry")
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at zero)."""

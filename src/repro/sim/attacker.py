@@ -23,7 +23,7 @@ never happens).
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.game.parameters import GameParameters
@@ -306,7 +306,7 @@ class GameAwareAttacker(FloodingAttacker):
 
         return run_interval
 
-    def _step_y(self):
+    def _step_y(self) -> Tuple[float, float]:
         _dx, dy = self._dynamics.derivatives(self._x, self._y)
         y = min(max(self._y + dy * self._dt, 1e-12), 1.0)
         return self._x, y

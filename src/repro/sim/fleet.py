@@ -89,6 +89,8 @@ from repro.analysis.statistics import MeanEstimate, mean_estimate
 from repro.crypto import kernels
 from repro.crypto.mac import INDEX_BITS, MacScheme, MicroMacScheme
 from repro.crypto.onewayfn import OneWayFunction, standard_functions
+from repro.devtools.sanitizers.determinism import traced_rng
+from repro.devtools.sanitizers.resources import release_resource, track_resource
 from repro.engine.executors import Executor
 from repro.engine.spec import ExperimentSpec
 from repro.errors import ConfigurationError
@@ -119,7 +121,11 @@ from repro.sim.channel import (
     bernoulli_drop_mask,
     gilbert_elliott_drop_mask,
 )
-from repro.sim.metrics import FleetAggregate, fleet_summary_from_arrays
+from repro.sim.metrics import (
+    FleetAggregate,
+    FleetSummary,
+    fleet_summary_from_arrays,
+)
 from repro.scenarios.families import (
     MULTI_LEVEL,
     SINGLE_LEVEL,
@@ -920,7 +926,7 @@ def _replay_two_phase_reference(
     (auth_c, lost_c, rejf_c, weak_c, disc_c, facc_c, recv_c, peak_c) = out
     for local, seed in enumerate(seeds):
         local_key = _seed_bytes(config, f"local-{start + local}")
-        rng_r = random.Random(seed)
+        rng_r = traced_rng(random.Random(seed), f"receiver-{start + local}")
         rand = rng_r.random
         randrange = rng_r.randrange
         delivered_slots = np.nonzero(delivered[:, local])[0].tolist()
@@ -1220,7 +1226,10 @@ def _replay_two_phase_vectorized(
             o1 = ov_split[local + 1]
             if o0 == o1:
                 continue
-            rng_r = random.Random(seeds[b0 + local])
+            rng_r = traced_rng(
+                random.Random(seeds[b0 + local]),
+                f"receiver-{start + b0 + local}",
+            )
             rand = rng_r.random
             getrandbits = rng_r.getrandbits
             evmap: Dict[int, int] = {}
@@ -1480,6 +1489,7 @@ def _replay_single_level(
 def _replay_multilevel(
     plan: _MultiLevelPlan,
     config: ScenarioConfig,
+    start: int,
     seeds: Sequence[int],
     delivered: np.ndarray,
 ) -> _Counts:
@@ -1501,7 +1511,7 @@ def _replay_multilevel(
     out: Tuple[List[int], ...] = ([], [], [], [], [], [], [], [])
     (auth_c, lost_c, rejf_c, weak_c, disc_c, facc_c, recv_c, peak_c) = out
     for local, seed in enumerate(seeds):
-        rng_r = random.Random(seed)
+        rng_r = traced_rng(random.Random(seed), f"receiver-{start + local}")
         rand = rng_r.random
         randrange = rng_r.randrange
         delivered_slots = np.nonzero(delivered[:, local])[0].tolist()
@@ -1699,7 +1709,7 @@ def _replay_span(
         return _replay_two_phase(plan, config, start, seeds, delivered)
     if isinstance(plan, _SingleLevelPlan):
         return _replay_single_level(plan, config, seeds, delivered)
-    return _replay_multilevel(plan, config, seeds, delivered)
+    return _replay_multilevel(plan, config, start, seeds, delivered)
 
 
 # ---------------------------------------------------------------------------
@@ -1776,7 +1786,7 @@ class _CountAccumulator:
         )
         self._aggregate = self._aggregate.merged_with(shard)
 
-    def result(self, receivers: int):
+    def result(self, receivers: int) -> FleetSummary | FleetAggregate:
         if self._mode == "nodes":
             names = [f"recv-{r}" for r in range(receivers)]
             return fleet_summary_from_arrays(
@@ -1831,7 +1841,10 @@ def run_fleet_scenario(
     shards = min(shards, config.receivers)
 
     # Master draw order mirrors run_scenario + the family builders.
-    rng = random.Random(config.seed)
+    # medium_rng stays unwrapped: _packed_delivery_mask consumes its
+    # getstate() to seed the numpy mirror, which a tracing wrapper
+    # would intercept without seeing the numpy-side draws.
+    rng = traced_rng(random.Random(config.seed), "master")
     medium_rng = random.Random(rng.getrandbits(64))
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
@@ -1839,7 +1852,7 @@ def run_fleet_scenario(
     receiver_seeds = [rng.getrandbits(64) for _ in range(config.receivers)]
     # run_scenario draws the attacker seed only when the attack is on.
     attacker_rng = (
-        random.Random(rng.getrandbits(64))
+        traced_rng(random.Random(rng.getrandbits(64)), "attacker")
         if config.attack_fraction > 0.0
         # reprolint: disable=RPL002 -- never drawn from: attack is off, and taking a master-seed draw here would break DES draw-order parity
         else random.Random()
@@ -1858,6 +1871,9 @@ def run_fleet_scenario(
     parallel = executor is not None and executor.jobs > 1 and len(spans) > 1
     if parallel:
         block = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+        track_resource(
+            "shm", block.name, f"fleet delivery mask ({packed.nbytes} bytes)"
+        )
         try:
             shared_view = np.ndarray(
                 packed.shape, dtype=np.uint8, buffer=block.buf
@@ -1892,6 +1908,7 @@ def run_fleet_scenario(
             # shard fails mid-stream.
             block.close()
             block.unlink()
+            release_resource("shm", block.name)
     else:
         for start, stop in spans:
             delivered = _shard_delivered(packed, start, stop)

@@ -9,10 +9,10 @@ acceptance (must be zero), and peak buffer memory in bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 from repro.errors import ConfigurationError
-from repro.protocols.base import AuthOutcome
+from repro.protocols.base import AuthOutcome, ReceiverStats
 from repro.sim.nodes import ReceiverNode
 
 __all__ = [
@@ -205,11 +205,11 @@ class FleetAggregate:
         return self.total_lost_no_record / (self.node_count * self.sent_authentic)
 
 
-def _stat(receiver_stats, outcome: AuthOutcome) -> int:
+def _stat(receiver_stats: ReceiverStats, outcome: AuthOutcome) -> int:
     return receiver_stats.by_outcome.get(outcome, 0)
 
 
-def summary_from_stats(name: str, stats) -> NodeSummary:
+def summary_from_stats(name: str, stats: ReceiverStats) -> NodeSummary:
     """One receiver's :class:`~repro.protocols.base.ReceiverStats` as a
     :class:`NodeSummary` — shared by the simulator and the live testbed
     (:mod:`repro.net`), so both report in the same vocabulary."""
@@ -227,15 +227,15 @@ def summary_from_stats(name: str, stats) -> NodeSummary:
 
 
 def fleet_summary_from_arrays(
-    names,
-    authenticated,
-    lost_no_record,
-    rejected_forged,
-    rejected_weak_auth,
-    discarded_unsafe,
-    forged_accepted,
-    packets_received,
-    peak_buffer_bits,
+    names: Sequence[str],
+    authenticated: Sequence[int],
+    lost_no_record: Sequence[int],
+    rejected_forged: Sequence[int],
+    rejected_weak_auth: Sequence[int],
+    discarded_unsafe: Sequence[int],
+    forged_accepted: Sequence[int],
+    packets_received: Sequence[int],
+    peak_buffer_bits: Sequence[int],
     sent_authentic: int,
 ) -> FleetSummary:
     """Fold per-receiver counter arrays into a :class:`FleetSummary`.

@@ -10,7 +10,7 @@ authentication event for the metrics layer.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.protocols.base import AuthEvent, BroadcastReceiver, BroadcastSender
@@ -71,7 +71,7 @@ class SenderNode:
                     f"{self.name} interval {interval} packet {position}",
                 )
 
-    def _make_transmit(self, packet: object):
+    def _make_transmit(self, packet: object) -> Callable[[], None]:
         def transmit() -> None:
             self._medium.broadcast(packet, exclude=self.name)
             self.packets_sent += 1

@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple, Union
 
 from repro.crypto.kernels import ChainWalkCache
 from repro.crypto.onewayfn import OneWayFunction
+from repro.devtools.sanitizers.determinism import traced_rng
 from repro.errors import ConfigurationError
 from repro.protocols.dap import DapReceiver, DapSender
 from repro.protocols.edrp import edrp_params
@@ -42,6 +43,7 @@ from repro.protocols.tesla import TeslaReceiver, TeslaSender
 from repro.protocols.tesla_pp import TeslaPlusPlusReceiver, TeslaPlusPlusSender
 from repro.sim.attacker import (
     FloodingAttacker,
+    ForgeryFactory,
     announce_forgery_factory,
     cdm_forgery_factory,
     data_forgery_factory,
@@ -60,7 +62,12 @@ from repro.scenarios.families import (
     TWO_PHASE,
     WORKLOADS,
 )
-from repro.sim.workloads import workload_for
+from repro.sim.workloads import (
+    CrowdsensingWorkload,
+    RemoteIdWorkload,
+    VehicularBeaconWorkload,
+    workload_for,
+)
 from repro.timesync.intervals import IntervalSchedule, TwoLevelSchedule
 from repro.timesync.sync import LooseTimeSync, SecurityCondition
 
@@ -70,6 +77,10 @@ __all__ = [
     "run_scenario",
     "build_two_phase_protocol",
 ]
+
+# The three workload shapes share a duck-typed ``report_for`` surface;
+# the union is what the scenario builders actually accept.
+Workload = Union[CrowdsensingWorkload, VehicularBeaconWorkload, RemoteIdWorkload]
 
 # The canonical protocol/family/engine tables live in
 # repro.scenarios.families; these aliases keep the historical private
@@ -218,7 +229,18 @@ def _seed_bytes(config: ScenarioConfig, label: str) -> bytes:
     return b"repro.scenario|%d|%s" % (config.seed, label.encode("utf-8"))
 
 
-def build_two_phase_protocol(config, condition, workload, rng):
+def build_two_phase_protocol(
+    config: ScenarioConfig,
+    condition: SecurityCondition,
+    workload: Workload,
+    rng: random.Random,
+) -> Tuple[
+    Union[DapSender, TeslaPlusPlusSender],
+    List[Union[DapReceiver, TeslaPlusPlusReceiver]],
+    ForgeryFactory,
+    int,
+    int,
+]:
     """Construct the two-phase protocol objects a scenario needs.
 
     Returns ``(sender, receivers, factory, authentic_copies,
@@ -254,7 +276,9 @@ def build_two_phase_protocol(config, condition, workload, rng):
                 buffers=config.buffers,
                 function=function,
                 walk_cache=walk_cache,
-                rng=random.Random(rng.getrandbits(64)),
+                rng=traced_rng(
+                    random.Random(rng.getrandbits(64)), f"receiver-{i}"
+                ),
             )
         )
     factory = announce_forgery_factory()
@@ -265,7 +289,21 @@ def build_two_phase_protocol(config, condition, workload, rng):
     return sender, receivers, factory, authentic_copies, sent_authentic
 
 
-def _build_two_phase(config, simulator, medium, schedule, condition, workload, rng):
+def _build_two_phase(
+    config: ScenarioConfig,
+    simulator: Simulator,
+    medium: BroadcastMedium,
+    schedule: IntervalSchedule,
+    condition: SecurityCondition,
+    workload: Workload,
+    rng: random.Random,
+) -> Tuple[
+    Union[DapSender, TeslaPlusPlusSender],
+    List[ReceiverNode],
+    ForgeryFactory,
+    int,
+    int,
+]:
     sender, receivers, factory, authentic_copies, sent_authentic = (
         build_two_phase_protocol(config, condition, workload, rng)
     )
@@ -277,7 +315,21 @@ def _build_two_phase(config, simulator, medium, schedule, condition, workload, r
     return sender, nodes, factory, authentic_copies, sent_authentic
 
 
-def _build_single_level(config, simulator, medium, schedule, condition, workload, rng):
+def _build_single_level(
+    config: ScenarioConfig,
+    simulator: Simulator,
+    medium: BroadcastMedium,
+    schedule: IntervalSchedule,
+    condition: SecurityCondition,
+    workload: Workload,
+    rng: random.Random,
+) -> Tuple[
+    Union[TeslaSender, MuTeslaSender],
+    List[ReceiverNode],
+    ForgeryFactory,
+    int,
+    int,
+]:
     delay = max(config.disclosure_delay, 2)
     if config.protocol == "tesla":
         sender = TeslaSender(
@@ -308,7 +360,7 @@ def _build_single_level(config, simulator, medium, schedule, condition, workload
             buffer_capacity=config.buffers,
             function=function,
             walk_cache=walk_cache,
-            rng=random.Random(rng.getrandbits(64)),
+            rng=traced_rng(random.Random(rng.getrandbits(64)), f"receiver-{i}"),
         )
         node = ReceiverNode(f"recv-{i}", simulator, receiver)
         node.attach(medium, _link_for(config))
@@ -318,7 +370,15 @@ def _build_single_level(config, simulator, medium, schedule, condition, workload
     return sender, nodes, factory, authentic_copies, sent_authentic
 
 
-def _build_multilevel(config, simulator, medium, two_level, sync, workload, rng):
+def _build_multilevel(
+    config: ScenarioConfig,
+    simulator: Simulator,
+    medium: BroadcastMedium,
+    two_level: TwoLevelSchedule,
+    sync: LooseTimeSync,
+    workload: Workload,
+    rng: random.Random,
+) -> Tuple[MultiLevelSender, List[ReceiverNode], ForgeryFactory, int, int]:
     high_length = (config.intervals - 1) // config.low_per_high + 3
     params = MultiLevelParams(
         high_length=high_length,
@@ -344,7 +404,7 @@ def _build_multilevel(config, simulator, medium, two_level, sync, workload, rng)
             sync=sync,
             params=params,
             cdm_buffers=config.buffers,
-            rng=random.Random(rng.getrandbits(64)),
+            rng=traced_rng(random.Random(rng.getrandbits(64)), f"receiver-{i}"),
         )
         receiver.bootstrap_commitment(1, sender.chain.low_commitment(1))
         node = ReceiverNode(f"recv-{i}", simulator, receiver)
@@ -370,9 +430,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             return fleet.run_fleet_scenario(config)
         # Unsupported family: fall back to the DES without behaviour
         # change (same summaries a plain engine="des" run produces).
-    rng = random.Random(config.seed)
+    rng = traced_rng(random.Random(config.seed), "master")
     simulator = Simulator()
-    medium = BroadcastMedium(simulator, rng=random.Random(rng.getrandbits(64)))
+    medium = BroadcastMedium(
+        simulator, rng=traced_rng(random.Random(rng.getrandbits(64)), "medium")
+    )
     schedule = IntervalSchedule(0.0, config.interval_duration)
     sync = LooseTimeSync(config.max_offset)
     workload = workload_for(config)
@@ -410,7 +472,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             authentic_copies_per_interval=authentic_copies,
             intervals=config.intervals,
             burst_fraction=config.attack_burst_fraction,
-            rng=random.Random(rng.getrandbits(64)),
+            rng=traced_rng(random.Random(rng.getrandbits(64)), "attacker"),
         )
         attacker.start()
 

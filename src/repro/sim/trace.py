@@ -22,7 +22,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import ProtocolError, SimulationError
 from repro.protocols.base import AuthEvent, BroadcastReceiver
-from repro.protocols.wire import decode_packet, encode_packet
+from repro.protocols.wire import WirePacket, decode_packet, encode_packet
 from repro.sim.medium import BroadcastMedium
 
 __all__ = ["TraceRecord", "PacketTrace", "TraceRecorder", "replay_trace"]
@@ -38,7 +38,7 @@ class TraceRecord:
     time: float
     payload: bytes
 
-    def decode(self):
+    def decode(self) -> WirePacket:
         """The packet object (decoded lazily; see the wire codec docs)."""
         return decode_packet(self.payload)
 

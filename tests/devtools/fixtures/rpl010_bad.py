@@ -1,0 +1,27 @@
+"""Known-bad RPL010 fixture: the three seed-threading faults (checked
+as if it lived under ``repro/sim/``)."""
+
+import random
+
+
+def build_stream(seed=0):
+    return random.Random(seed)
+
+
+def dropped(values, seed):
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+def unthreaded(count, seed):
+    rng = random.Random(seed)
+    streams = [build_stream() for _ in range(count)]
+    return rng, streams
+
+
+def rederived(seed):
+    rng = random.Random(seed)
+    other = random.Random(1234)
+    return rng.random() + other.random()

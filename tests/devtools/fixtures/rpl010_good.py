@@ -1,0 +1,27 @@
+"""Known-good RPL010 fixture: every seed is used, threaded to callees
+and never re-derived from a literal."""
+
+import random
+
+
+def build_stream(seed=0):
+    return random.Random(seed)
+
+
+def used(values, seed):
+    rng = random.Random(seed)
+    total = rng.random()
+    for value in values:
+        total += value
+    return total
+
+
+def threaded(count, seed):
+    rng = random.Random(seed)
+    streams = [build_stream(rng.getrandbits(64)) for _ in range(count)]
+    return rng, streams
+
+
+def derived_child(rng):
+    child_seed = rng.getrandbits(64)
+    return build_stream(child_seed)

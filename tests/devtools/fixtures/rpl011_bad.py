@@ -1,0 +1,14 @@
+"""Known-bad RPL011 fixture: counter spelling drift and dead reads
+(checked as if it lived under ``repro/perf/``)."""
+
+
+def record(registry):
+    registry.incr("sim.packets_sent")
+    registry.incr("sim.Packets-Sent")
+    registry.observe("sim.latency_seconds", 0.5)
+
+
+def report(registry):
+    dead = registry.counter("sim.packets_lost")
+    drifted = registry.counter("sim.latencyseconds")
+    return dead + drifted

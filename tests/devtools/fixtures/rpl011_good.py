@@ -1,0 +1,17 @@
+"""Known-good RPL011 fixture: one spelling per counter, every read
+backed by an instrumentation site."""
+
+
+def record(registry):
+    registry.incr("sim.packets_sent")
+    registry.incr("sim.packets_lost")
+    registry.observe("sim.latency_seconds", 0.5)
+    registry.incr("cache.hits")
+    registry.incr("cache.misses")
+
+
+def report(registry):
+    sent = registry.counter("sim.packets_sent")
+    lost = registry.counter("sim.packets_lost")
+    rate = registry.hit_rate("cache.hits", "cache.misses")
+    return sent + lost + rate

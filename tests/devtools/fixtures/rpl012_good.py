@@ -1,0 +1,42 @@
+"""Known-good RPL012 fixture: produced and consumed fields line up,
+codec pairs round-trip, kinds share one schema."""
+
+_RECORD_FIELDS = ("t", "pending")
+
+
+def send_status(stream, worker_id):
+    stream.send({"type": "status", "worker_id": worker_id})
+
+
+def send_record(stream, t, pending):
+    stream.send({"type": "record", "t": t, "pending": pending})
+
+
+def handle(message):
+    return message["worker_id"]
+
+
+def handle_record(message):
+    return [message[name] for name in _RECORD_FIELDS]
+
+
+def encode_report(report):
+    return {
+        "total": report.total,
+        "elapsed": report.elapsed,
+    }
+
+
+def decode_report(document):
+    return {
+        "total": int(document["total"]),
+        "elapsed": float(document["elapsed"]),
+    }
+
+
+def first_record(t):
+    return {"kind": "probe", "t": t, "pending": 0}
+
+
+def second_record(t):
+    return {"kind": "probe", "t": t, "pending": 1}

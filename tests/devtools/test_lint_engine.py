@@ -139,7 +139,9 @@ class TestReportsAndExitCodes:
             "files_checked",
             "rules",
             "violations",
+            "baselined",
         }
+        assert document["baselined"] == 0
         assert document["version"] == 1
         assert document["files_checked"] == 2
         assert document["rules"] == [f"RPL00{i}" for i in range(1, 10)]
@@ -187,3 +189,162 @@ class TestReportsAndExitCodes:
         dirty = self._write_tree(tmp_path, bad=True)
         assert execute([dirty]) == 1
         capsys.readouterr()
+
+
+class TestMultiLineSuppressions:
+    """A directive anywhere in a multi-line logical statement covers
+    the whole statement, and a comment-only directive covers the next
+    statement's full span."""
+
+    def test_directive_on_last_physical_line(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def build():\n"
+            "    return random.Random(\n"
+            "    )  # reprolint: disable=RPL002\n"
+        )
+        assert check_source(source, SIM_PATH, select=["RPL002"]) == []
+
+    def test_directive_on_inner_physical_line(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def build():\n"
+            "    return random.Random(\n"
+            "        # reprolint: disable=RPL002\n"
+            "    )\n"
+        )
+        assert check_source(source, SIM_PATH, select=["RPL002"]) == []
+
+    def test_comment_line_covers_following_multiline_statement(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def build():\n"
+            "    # reprolint: disable=RPL002\n"
+            "    return random.Random(\n"
+            "    )\n"
+        )
+        assert check_source(source, SIM_PATH, select=["RPL002"]) == []
+
+    def test_unsuppressed_multiline_statement_still_fires(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def build():\n"
+            "    return random.Random(\n"
+            "    )\n"
+        )
+        violations = check_source(source, SIM_PATH, select=["RPL002"])
+        assert [v.rule for v in violations] == ["RPL002"]
+
+    def test_directive_does_not_leak_past_the_statement(self):
+        source = (
+            "import random\n"
+            "\n"
+            "def build():\n"
+            "    a = random.Random(\n"
+            "    )  # reprolint: disable=RPL002\n"
+            "    b = random.Random()\n"
+            "    return a, b\n"
+        )
+        violations = check_source(source, SIM_PATH, select=["RPL002"])
+        assert [v.line for v in violations] == [6]
+
+
+class TestGithubFormat:
+    def _dirty(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "dirty.py").write_text(BAD_SIM_SOURCE)
+        return tmp_path / "src"
+
+    def test_workflow_command_lines(self, tmp_path):
+        report = lint_paths([self._dirty(tmp_path)])
+        text = report.format_github()
+        line = text.splitlines()[0]
+        assert line.startswith("::error file=")
+        assert "title=reprolint RPL002" in line
+        assert ",line=5," in line
+
+    def test_main_github_format(self, tmp_path, capsys):
+        assert main([str(self._dirty(tmp_path)), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error ")
+        assert "1 violation" in out
+
+
+class TestBaseline:
+    def _dirty(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "dirty.py").write_text(BAD_SIM_SOURCE)
+        return tmp_path / "src"
+
+    def test_write_then_apply_roundtrip(self, tmp_path, capsys):
+        dirty = self._dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(dirty), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main([str(dirty), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_new_violations_still_fail(self, tmp_path, capsys):
+        dirty = self._dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(dirty), "--write-baseline", str(baseline)]) == 0
+        extra = dirty / "repro" / "sim" / "fresh.py"
+        extra.write_text(BAD_SIM_SOURCE)
+        capsys.readouterr()
+        assert main([str(dirty), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "1 baselined" in out
+
+    def test_baselined_count_in_json(self, tmp_path, capsys):
+        dirty = self._dirty(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(dirty), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert (
+            main([str(dirty), "--baseline", str(baseline), "--format", "json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["baselined"] == 1
+        assert document["violations"] == []
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        dirty = self._dirty(tmp_path)
+        broken = tmp_path / "broken.json"
+        broken.write_text("not json")
+        assert main([str(dirty), "--baseline", str(broken)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestFaultBoundary:
+    """Violations exit 1; crashes and bad arguments exit 2 — CI can
+    tell 'the tree is dirty' from 'the linter broke'."""
+
+    def test_internal_failure_exits_two(self, tmp_path, capsys, monkeypatch):
+        from repro.devtools import lint as lint_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic engine crash")
+
+        monkeypatch.setattr(lint_module, "lint_paths", boom)
+        assert lint_module.execute([tmp_path]) == 2
+        err = capsys.readouterr().err
+        assert "internal reprolint failure" in err
+        assert "synthetic engine crash" in err
+
+    def test_project_select_without_project_flag_exits_two(
+        self, tmp_path, capsys
+    ):
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "ok.py").write_text("VALUE = 3\n")
+        assert main([str(tmp_path / "src"), "--select", "RPL010"]) == 2
+        assert "--project" in capsys.readouterr().err
